@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented by
+//! `snic_core::experiments::fig10_doorbell`.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::fig10_doorbell::run(opts.quick);
+    snic_bench::emit("fig10_doorbell", &tables, opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented by
+//! `snic_core::experiments::fig11_concurrency`.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::fig11_concurrency::run(opts.quick);
+    snic_bench::emit("fig11_concurrency", &tables, opts);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Figure 1 key-value store comparison.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let table = snic_kvstore::fig1_table(opts.quick);
+    snic_bench::emit("fig1_kvstore", &[table], opts);
+}

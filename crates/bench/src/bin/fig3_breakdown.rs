@@ -1,0 +1,7 @@
+//! Regenerates the Figure 3 execution-flow latency breakdown.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::fig3_breakdown::run(opts.quick);
+    snic_bench::emit("fig3_breakdown", &tables, opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented by
+//! `snic_core::experiments::fig4_lat_tput`.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::fig4_lat_tput::run(opts.quick);
+    snic_bench::emit("fig4_lat_tput", &tables, opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented by
+//! `snic_core::experiments::fig5_flows`.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::fig5_flows::run(opts.quick);
+    snic_bench::emit("fig5_flows", &tables, opts);
+}

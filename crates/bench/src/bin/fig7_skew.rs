@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented by
+//! `snic_core::experiments::fig7_skew`.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::fig7_skew::run(opts.quick);
+    snic_bench::emit("fig7_skew", &tables, opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented by
+//! `snic_core::experiments::budget`.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::budget::run(opts.quick);
+    snic_bench::emit("fig_concurrent_budget", &tables, opts);
+}

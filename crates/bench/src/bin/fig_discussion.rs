@@ -1,0 +1,8 @@
+//! Regenerates the §5 Discussion what-if tables (on-path vs off-path,
+//! Bluefield-3, CXL).
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::discussion::run(opts.quick);
+    snic_bench::emit("fig_discussion", &tables, opts);
+}

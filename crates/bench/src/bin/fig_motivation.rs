@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented by
+//! `snic_core::experiments::motivation`.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::motivation::run(opts.quick);
+    snic_bench::emit("fig_motivation", &tables, opts);
+}

@@ -1,0 +1,54 @@
+//! Regenerates every table and figure in one run.
+//!
+//! Artifacts are computed on parallel worker threads (each experiment is
+//! an independent deterministic simulation) and emitted in a fixed order
+//! regardless of completion order.
+
+use snic_bench::TableSink;
+use snic_core::report::Table;
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    use snic_core::experiments as e;
+    type Job = (&'static str, fn(bool) -> Vec<Table>);
+    let jobs: Vec<Job> = vec![
+        ("00_fig_motivation", e::motivation::run),
+        ("01_fig1_kvstore", |q| vec![snic_kvstore::fig1_table(q)]),
+        ("02_fig3_breakdown", e::fig3_breakdown::run),
+        ("03_fig4_lat_tput", e::fig4_lat_tput::run),
+        ("04_fig5_flows", e::fig5_flows::run),
+        ("05_fig7_skew", e::fig7_skew::run),
+        ("06_fig8_large_read", e::fig8_large_read::run),
+        ("07_fig9_path3", e::fig9_path3::run),
+        ("08_fig10_doorbell", e::fig10_doorbell::run),
+        ("09_fig11_concurrency", e::fig11_concurrency::run),
+        ("10_table3_packets", e::table3_packets::run),
+        ("11_fig_concurrent_budget", e::budget::run),
+        ("12_fig_discussion", e::discussion::run),
+    ];
+    let sink = TableSink::new();
+    crossbeam::thread::scope(|s| {
+        for (name, run) in &jobs {
+            let sink = &sink;
+            s.spawn(move |_| {
+                for t in run(opts.quick) {
+                    sink.push(name, t);
+                }
+            });
+        }
+    })
+    .expect("artifact worker panicked");
+
+    // Emit grouped per artifact, in the fixed numbered order; strip the
+    // ordering prefix from the CSV file names.
+    let drained = sink.drain_sorted();
+    for (name, _) in &jobs {
+        let tables: Vec<Table> = drained
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let clean = name.split_once('_').map_or(*name, |(_, rest)| rest);
+        snic_bench::emit(clean, &tables, opts);
+    }
+}

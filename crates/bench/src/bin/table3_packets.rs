@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented by
+//! `snic_core::experiments::table3_packets`.
+
+fn main() {
+    let opts = snic_bench::Options::from_args();
+    let tables = snic_core::experiments::table3_packets::run(opts.quick);
+    snic_bench::emit("table3_packets", &tables, opts);
+}

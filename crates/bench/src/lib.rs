@@ -1,0 +1,123 @@
+//! `snic-bench` — benchmark harness regenerating every table and figure.
+//!
+//! Each paper artifact has a binary (`src/bin/fig*.rs`, `table3_*.rs`)
+//! that prints the regenerated series as an aligned table and as CSV;
+//! `run_all` emits everything. Criterion benches (`benches/`) cover the
+//! simulator primitives, one point of each figure, and the ablations
+//! flagged in DESIGN.md §7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::Path;
+
+use parking_lot::Mutex;
+use snic_core::report::Table;
+
+/// Output directory for CSV files.
+pub const RESULTS_DIR: &str = "results";
+
+/// CLI options shared by the figure binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Shrink sweeps and horizons (`--quick`).
+    pub quick: bool,
+    /// Write CSV files under [`RESULTS_DIR`] (`--csv`).
+    pub csv: bool,
+}
+
+impl Options {
+    /// Parses the binary's arguments.
+    pub fn from_args() -> Options {
+        let mut o = Options::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => o.quick = true,
+                "--csv" => o.csv = true,
+                "--help" | "-h" => {
+                    eprintln!("options: --quick (small sweep)  --csv (write results/*.csv)");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        o
+    }
+}
+
+/// Prints tables and optionally writes them as CSV under `results/`.
+pub fn emit(prefix: &str, tables: &[Table], opts: Options) {
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.to_text());
+        if opts.csv {
+            let dir = Path::new(RESULTS_DIR);
+            fs::create_dir_all(dir).expect("create results dir");
+            let path = dir.join(format!("{prefix}_{i}.csv"));
+            fs::write(&path, t.to_csv()).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// A thread-safe collector for tables produced by parallel experiment
+/// workers (crossbeam scopes in the figure binaries), preserving a
+/// deterministic (name, index) order on drain.
+#[derive(Default)]
+pub struct TableSink {
+    inner: Mutex<Vec<(String, Table)>>,
+}
+
+impl TableSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table under an artifact name (callable from any thread).
+    pub fn push(&self, name: &str, table: Table) {
+        self.inner.lock().push((name.to_string(), table));
+    }
+
+    /// Drains all tables sorted by (name, insertion order within name).
+    pub fn drain_sorted(&self) -> Vec<(String, Table)> {
+        let mut v = std::mem::take(&mut *self.inner.lock());
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options() {
+        let o = Options::default();
+        assert!(!o.quick);
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn emit_prints_without_csv() {
+        let t = Table::new("T", &["a"]);
+        emit("test", &[t], Options::default());
+    }
+
+    #[test]
+    fn table_sink_collects_across_threads() {
+        let sink = TableSink::new();
+        std::thread::scope(|s| {
+            for name in ["b", "a", "c"] {
+                let sink = &sink;
+                s.spawn(move || sink.push(name, Table::new(name, &["x"])));
+            }
+        });
+        let drained = sink.drain_sorted();
+        let names: Vec<&str> = drained.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

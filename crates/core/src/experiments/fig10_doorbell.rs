@@ -1,0 +1,145 @@
+//! Figure 10: posting latency per requester and the effect of doorbell
+//! batching (Advice #4).
+//!
+//! (a) the MMIO-dominated cost of handing one request to the NIC, per
+//! requester location; (b) the throughput ratio of doorbell batching vs
+//! per-request MMIO, per batch size — hugely positive on the SoC side,
+//! slightly negative host-side at small batches.
+
+use nicsim::{PathKind, Verb};
+use rdma_sim::doorbell::{PostCostModel, PostMode, PosterKind};
+use topology::MachineSpec;
+
+use crate::harness::{run_scenario, StreamSpec};
+use crate::report::{fmt_f, Table};
+
+/// Batch sizes swept in Figure 10(b).
+pub fn batches(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![16, 48, 80]
+    } else {
+        vec![4, 8, 16, 24, 32, 48, 64, 80]
+    }
+}
+
+fn model(poster: PosterKind) -> PostCostModel {
+    let machine = match poster {
+        PosterKind::Client => MachineSpec::cli(),
+        _ => MachineSpec::srv_with_bluefield(),
+    };
+    PostCostModel::new(&machine, poster)
+}
+
+/// Runs the Figure 10 reproduction.
+pub fn run(quick: bool) -> Vec<Table> {
+    // (a) posting latency per requester.
+    let mut lat = Table::new(
+        "Fig 10(a): cost of posting one request [ns]",
+        &[
+            "requester",
+            "CPU cost (MMIO issue)",
+            "doorbell transit to NIC",
+        ],
+    );
+    let mach_srv = MachineSpec::srv_with_bluefield();
+    let soc = mach_srv.nic.smartnic().expect("bluefield").soc;
+    let rows: Vec<(&str, PosterKind, u64)> = vec![
+        (
+            "client (RNIC/SNIC 1,2)",
+            PosterKind::Client,
+            (MachineSpec::cli().host.cpu.mmio_latency + MachineSpec::cli().host.pcie_latency)
+                .as_nanos(),
+        ),
+        (
+            "host CPU (SNIC 3 H2S)",
+            PosterKind::HostCpu,
+            (mach_srv.host.cpu.mmio_latency + mach_srv.host.pcie_latency).as_nanos(),
+        ),
+        (
+            "SoC core (SNIC 3 S2H)",
+            PosterKind::SocCore,
+            soc.mmio_latency.as_nanos(),
+        ),
+    ];
+    for (name, poster, transit) in rows {
+        let m = model(poster);
+        lat.push(vec![
+            name.to_string(),
+            m.cpu_time_per_request(PostMode::Mmio)
+                .as_nanos()
+                .to_string(),
+            transit.to_string(),
+        ]);
+    }
+
+    // (b) DB speedup vs batch size (requester-side model).
+    let mut db = Table::new(
+        "Fig 10(b): doorbell-batching speedup vs batch size",
+        &[
+            "batch",
+            "SNIC(1) client-side",
+            "SNIC(3) SoC-side (S2H)",
+            "SNIC(3) host-side (H2S)",
+        ],
+    );
+    let cli = model(PosterKind::Client);
+    let socm = model(PosterKind::SocCore);
+    let host = model(PosterKind::HostCpu);
+    for b in batches(quick) {
+        db.push(vec![
+            b.to_string(),
+            fmt_f(cli.db_speedup(b)),
+            fmt_f(socm.db_speedup(b)),
+            fmt_f(host.db_speedup(b)),
+        ]);
+    }
+
+    // (b) end-to-end confirmation on the simulator: S2H READ throughput
+    // with and without DB at one batch size.
+    let sc = super::scenario(quick);
+    let nodb =
+        StreamSpec::new(PathKind::Snic3S2H, Verb::Read, 64, 1).with_post_mode(PostMode::Mmio);
+    let withdb = nodb.clone().with_post_mode(PostMode::Doorbell(32));
+    let r0 = run_scenario(&sc, &[nodb]);
+    let r1 = run_scenario(&sc, &[withdb]);
+    let mut e2e = Table::new(
+        "Fig 10(b) end-to-end: S2H READ throughput [M reqs/s]",
+        &["mode", "throughput"],
+    );
+    e2e.push(vec!["MMIO".into(), fmt_f(r0.streams[0].ops.as_mops())]);
+    e2e.push(vec!["DB(32)".into(), fmt_f(r1.streams[0].ops.as_mops())]);
+    vec![lat, db, e2e]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posting_latency_ordering() {
+        // Figure 10(a): SoC posting latency is the highest by far.
+        let t = &run(true)[0];
+        let cost = |i: usize| -> u64 { t.rows[i][1].parse().expect("numeric cost column") };
+        assert!(
+            cost(2) > 2 * cost(1),
+            "SoC {} !>> host {}",
+            cost(2),
+            cost(1)
+        );
+    }
+
+    #[test]
+    fn end_to_end_db_improves_s2h() {
+        let tables = run(true);
+        let e2e = &tables[2];
+        let mmio: f64 = e2e.rows[0][1].parse().expect("rate");
+        let db: f64 = e2e.rows[1][1].parse().expect("rate");
+        assert!(db > 1.5 * mmio, "DB {db} !>> MMIO {mmio}");
+    }
+
+    #[test]
+    fn speedup_table_covers_batches() {
+        let tables = run(true);
+        assert_eq!(tables[1].rows.len(), batches(true).len());
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 11: NIC-core saturation vs number of requester machines, and
+//! the §4 concurrency effect of using both endpoints.
+//!
+//! All requests use 0 B payloads so no DMA is ever issued — the
+//! experiment isolates the NIC processing units. Using both endpoints
+//! unlocks the per-endpoint reserved PUs (4-13% gain); the sum of the
+//! two standalone peaks (~352 Mpps) far exceeds the concurrent total
+//! (~195 Mpps), showing most PUs are shared.
+
+use nicsim::{PathKind, Verb};
+
+use crate::harness::{run_scenario, StreamSpec};
+use crate::report::{fmt_f, Table};
+
+fn single(quick: bool, path: PathKind, verb: Verb, machines: usize) -> f64 {
+    let sc = super::scenario(quick);
+    let mut spec = StreamSpec::new(path, verb, 0, machines);
+    spec.window = 16; // deep windows to expose the PU bound
+    run_scenario(&sc, &[spec]).streams[0].ops.as_mops()
+}
+
+/// 5 machines pinned on `first`, `extra` machines added on `second`.
+fn combined(quick: bool, first: PathKind, second: PathKind, verb: Verb, extra: usize) -> f64 {
+    let sc = super::scenario(quick);
+    let mut a = StreamSpec::new(first, verb, 0, 5);
+    a.window = 16;
+    let mut b = StreamSpec::new(second, verb, 0, 5);
+    b.clients = (5..5 + extra).collect();
+    b.window = 16;
+    run_scenario(&sc, &[a, b]).total_ops().as_mops()
+}
+
+/// Machine counts swept.
+pub fn machine_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 5, 8]
+    } else {
+        (1..=11).collect()
+    }
+}
+
+/// Runs the Figure 11 reproduction.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut out = Vec::new();
+    for verb in [Verb::Read, Verb::Write] {
+        let mut t = Table::new(
+            format!(
+                "Fig 11: {} (0 B) request rate [M reqs/s] vs requester machines",
+                verb.label()
+            ),
+            &[
+                "machines",
+                "SNIC(1)",
+                "SNIC(2)",
+                "SNIC(1)+(2)",
+                "SNIC(2)+(1)",
+            ],
+        );
+        for m in machine_counts(quick) {
+            let extra = m.saturating_sub(5).clamp(1, 6);
+            t.push(vec![
+                m.to_string(),
+                fmt_f(single(quick, PathKind::Snic1, verb, m)),
+                fmt_f(single(quick, PathKind::Snic2, verb, m)),
+                fmt_f(combined(
+                    quick,
+                    PathKind::Snic1,
+                    PathKind::Snic2,
+                    verb,
+                    extra,
+                )),
+                fmt_f(combined(
+                    quick,
+                    PathKind::Snic2,
+                    PathKind::Snic1,
+                    verb,
+                    extra,
+                )),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_machines_saturate_single_path() {
+        // §4: five requesters saturate the NIC cores on one path.
+        let five = single(true, PathKind::Snic1, Verb::Read, 5);
+        let eleven = single(true, PathKind::Snic1, Verb::Read, 11);
+        assert!(
+            eleven < 1.12 * five,
+            "not saturated at 5: {five:.0} vs {eleven:.0}"
+        );
+        // Near the calibrated single-endpoint share (~176 Mpps).
+        assert!((150.0..=195.0).contains(&eleven), "peak {eleven:.0} Mpps");
+    }
+
+    #[test]
+    fn both_endpoints_unlock_reserved_pus() {
+        // §4: 4-13% higher than one path alone.
+        let alone = single(true, PathKind::Snic1, Verb::Read, 11);
+        let both = combined(true, PathKind::Snic1, PathKind::Snic2, Verb::Read, 6);
+        let gain = both / alone - 1.0;
+        assert!((0.02..=0.20).contains(&gain), "gain {gain:.3}");
+    }
+
+    #[test]
+    fn aggregated_standalone_far_exceeds_concurrent() {
+        // §4: 352 Mpps (sum of standalone peaks) vs 195 Mpps concurrent.
+        let s1 = single(true, PathKind::Snic1, Verb::Read, 11);
+        let s2 = single(true, PathKind::Snic2, Verb::Read, 11);
+        let both = combined(true, PathKind::Snic1, PathKind::Snic2, Verb::Read, 6);
+        assert!(
+            s1 + s2 > 1.5 * both,
+            "sum {:.0} vs concurrent {both:.0}",
+            s1 + s2
+        );
+    }
+
+    #[test]
+    fn scaling_is_monotone_before_saturation() {
+        let two = single(true, PathKind::Snic1, Verb::Read, 2);
+        let five = single(true, PathKind::Snic1, Verb::Read, 5);
+        assert!(five > two, "{five:.0} !> {two:.0}");
+    }
+}

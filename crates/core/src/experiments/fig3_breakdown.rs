@@ -1,0 +1,224 @@
+//! Figure 3: the execution flow of READ/WRITE on SNIC vs RNIC, as a
+//! per-hop latency breakdown.
+//!
+//! The paper's Figure 3 is a flow diagram; we render it quantitatively:
+//! each row is one hop of the request's journey, so the +0.6 us READ tax
+//! (two extra switch crossings) and +0.4 us WRITE tax (one) are visible
+//! component by component, and the total cross-checks the simulator.
+
+use nicsim::{PathKind, Verb};
+use topology::{ClusterSpec, SmartNicSpec};
+
+use crate::harness::measure_latency;
+use crate::report::{fmt_f, Table};
+
+/// One hop of the latency budget.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// Hop label.
+    pub name: &'static str,
+    /// One-way nanoseconds contributed (already multiplied by the number
+    /// of traversals the verb performs).
+    pub nanos: u64,
+}
+
+/// The hop budget of a small request on `path`.
+pub fn hops(path: PathKind, verb: Verb) -> Vec<Hop> {
+    let c = ClusterSpec::paper_testbed();
+    let cli = c.clients[0];
+    let srv = c.servers[0];
+    let s: &SmartNicSpec = srv.nic.smartnic().expect("bluefield testbed");
+    let mut out = Vec::new();
+    let crossings: u64 = match verb {
+        Verb::Read => 2, // request + completion (Figure 3)
+        _ => 1,          // posted
+    };
+    if path.is_remote() {
+        out.push(Hop {
+            name: "client MMIO + doorbell",
+            nanos: (cli.host.cpu.mmio_latency + cli.host.pcie_latency).as_nanos(),
+        });
+        out.push(Hop {
+            name: "client NIC pipeline (x2)",
+            nanos: 160,
+        });
+        out.push(Hop {
+            name: "wire (x2)",
+            nanos: c.wire.one_way_latency.as_nanos() * 2,
+        });
+    } else {
+        let req_mmio = match path {
+            PathKind::Snic3S2H => s.soc.mmio_latency + s.soc.attach_latency,
+            _ => srv.host.cpu.mmio_latency + srv.host.pcie_latency,
+        };
+        out.push(Hop {
+            name: "requester MMIO + doorbell",
+            nanos: (req_mmio + s.switch.crossing_latency + s.pcie1_hop_latency).as_nanos(),
+        });
+    }
+    out.push(Hop {
+        name: "NIC PU pipeline",
+        nanos: 80,
+    });
+    match path {
+        PathKind::Rnic1 => {
+            out.push(Hop {
+                name: "host PCIe + root complex",
+                nanos: (srv.host.pcie_latency + srv.host.root_complex_latency).as_nanos()
+                    * crossings,
+            });
+        }
+        PathKind::Snic1 | PathKind::Snic3S2H => {
+            out.push(Hop {
+                name: "PCIe1 hop + switch (the SmartNIC tax)",
+                nanos: (s.pcie1_hop_latency + s.switch.crossing_latency).as_nanos() * crossings,
+            });
+            out.push(Hop {
+                name: "host PCIe + root complex",
+                nanos: (srv.host.pcie_latency + srv.host.root_complex_latency).as_nanos()
+                    * crossings,
+            });
+        }
+        PathKind::Snic2 | PathKind::Snic3H2S => {
+            out.push(Hop {
+                name: "PCIe1 hop + switch",
+                nanos: (s.pcie1_hop_latency + s.switch.crossing_latency).as_nanos() * crossings,
+            });
+            out.push(Hop {
+                name: "SoC attach",
+                nanos: s.soc.attach_latency.as_nanos() * crossings,
+            });
+        }
+    }
+    out.push(Hop {
+        name: "memory access",
+        nanos: 40,
+    });
+    if verb == Verb::Send {
+        let (t, x) = match path.responder() {
+            nicsim::Endpoint::Soc => (
+                s.soc.msg_handle_time.as_nanos(),
+                s.soc.msg_extra_latency.as_nanos(),
+            ),
+            nicsim::Endpoint::Host => (srv.host.cpu.msg_handle_time.as_nanos(), 0),
+        };
+        out.push(Hop {
+            name: "responder CPU handling",
+            nanos: t + x,
+        });
+    }
+    out.push(Hop {
+        name: "completion delivery",
+        nanos: (cli.host.pcie_latency + cli.host.root_complex_latency).as_nanos(),
+    });
+    out
+}
+
+/// Runs the Figure 3 breakdown.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let mut out = Vec::new();
+    for verb in [Verb::Read, Verb::Write] {
+        let mut t = Table::new(
+            format!(
+                "Fig 3: {} execution-flow latency breakdown [ns], 64 B",
+                verb.label()
+            ),
+            &["hop", "RNIC(1)", "SNIC(1)", "SNIC(2)"],
+        );
+        let paths = [PathKind::Rnic1, PathKind::Snic1, PathKind::Snic2];
+        let budgets: Vec<Vec<Hop>> = paths.iter().map(|&p| hops(p, verb)).collect();
+        // Union of hop names in first-seen order.
+        let mut names: Vec<&'static str> = Vec::new();
+        for b in &budgets {
+            for h in b {
+                if !names.contains(&h.name) {
+                    names.push(h.name);
+                }
+            }
+        }
+        for name in names {
+            let cell = |b: &Vec<Hop>| {
+                b.iter()
+                    .find(|h| h.name == name)
+                    .map_or("-".to_string(), |h| h.nanos.to_string())
+            };
+            t.push(vec![
+                name.to_string(),
+                cell(&budgets[0]),
+                cell(&budgets[1]),
+                cell(&budgets[2]),
+            ]);
+        }
+        // Totals vs simulator.
+        let total = |b: &Vec<Hop>| b.iter().map(|h| h.nanos).sum::<u64>();
+        t.push(vec![
+            "TOTAL (model)".into(),
+            total(&budgets[0]).to_string(),
+            total(&budgets[1]).to_string(),
+            total(&budgets[2]).to_string(),
+        ]);
+        t.push(vec![
+            "measured p50 (simulator)".into(),
+            fmt_f(measure_latency(paths[0], verb, 64).latency.p50.as_nanos() as f64),
+            fmt_f(measure_latency(paths[1], verb, 64).latency.p50.as_nanos() as f64),
+            fmt_f(measure_latency(paths[2], verb, 64).latency.p50.as_nanos() as f64),
+        ]);
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_tax_is_two_crossings() {
+        let rnic: u64 = hops(PathKind::Rnic1, Verb::Read)
+            .iter()
+            .map(|h| h.nanos)
+            .sum();
+        let snic: u64 = hops(PathKind::Snic1, Verb::Read)
+            .iter()
+            .map(|h| h.nanos)
+            .sum();
+        let s = SmartNicSpec::bluefield2();
+        let expected_tax = s.host_path_tax_oneway().as_nanos() * 2;
+        assert_eq!(snic - rnic, expected_tax);
+    }
+
+    #[test]
+    fn write_tax_is_one_crossing() {
+        let rnic: u64 = hops(PathKind::Rnic1, Verb::Write)
+            .iter()
+            .map(|h| h.nanos)
+            .sum();
+        let snic: u64 = hops(PathKind::Snic1, Verb::Write)
+            .iter()
+            .map(|h| h.nanos)
+            .sum();
+        let s = SmartNicSpec::bluefield2();
+        assert_eq!(snic - rnic, s.host_path_tax_oneway().as_nanos());
+    }
+
+    #[test]
+    fn breakdown_totals_track_simulator() {
+        for (path, verb) in [
+            (PathKind::Rnic1, Verb::Read),
+            (PathKind::Snic1, Verb::Read),
+            (PathKind::Snic2, Verb::Write),
+        ] {
+            let model: u64 = hops(path, verb).iter().map(|h| h.nanos).sum();
+            let sim = measure_latency(path, verb, 64).latency.p50.as_nanos();
+            let err = (model as f64 - sim as f64).abs() / sim as f64;
+            assert!(err < 0.30, "{path:?} {verb:?}: model {model} vs sim {sim}");
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = run(true);
+        assert_eq!(t.len(), 2);
+        assert!(t[0].to_text().contains("TOTAL"));
+    }
+}

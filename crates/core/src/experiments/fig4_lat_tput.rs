@@ -1,0 +1,192 @@
+//! Figure 4: end-to-end latency and peak throughput of random inbound
+//! RDMA requests on every path, per verb and payload.
+//!
+//! Series: RNIC(1), SNIC(1), SNIC(2), SNIC(3) S2H/H2S, plus the
+//! concurrent combinations SNIC(1)+(2) and SNIC(1)+(3)H2S from §4.
+
+use nicsim::{PathKind, Verb};
+
+use crate::harness::{measure_latency, run_scenario, Scenario, ServerKind, StreamSpec};
+use crate::report::{fmt_bytes, fmt_f, Table};
+
+use super::{scenario, small_payloads};
+
+/// Runs `f` over `payloads` on scoped worker threads, preserving order.
+///
+/// Scenarios are independent deterministic simulations, so the sweep
+/// parallelizes embarrassingly; crossbeam's scoped threads let each row
+/// borrow the shared inputs without `'static` bounds.
+fn par_rows<F>(payloads: &[u64], f: F) -> Vec<Vec<String>>
+where
+    F: Fn(u64) -> Vec<String> + Sync,
+{
+    let mut rows: Vec<Option<Vec<String>>> = vec![None; payloads.len()];
+    crossbeam::thread::scope(|s| {
+        for (slot, &p) in rows.iter_mut().zip(payloads.iter()) {
+            let f = &f;
+            s.spawn(move |_| {
+                *slot = Some(f(p));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    rows.into_iter()
+        .map(|r| r.expect("every payload produced a row"))
+        .collect()
+}
+
+/// Latency rows for one verb.
+fn latency_table(verb: Verb, payloads: &[u64]) -> Table {
+    let mut t = Table::new(
+        format!("Fig 4 (upper): {} latency [us] vs payload", verb.label()),
+        &[
+            "payload",
+            "RNIC(1)",
+            "SNIC(1)",
+            "SNIC(2)",
+            "SNIC(3)S2H",
+            "SNIC(3)H2S",
+        ],
+    );
+    for row in par_rows(payloads, |p| {
+        let mut row = vec![fmt_bytes(p)];
+        for path in PathKind::ALL {
+            let r = measure_latency(path, verb, p);
+            row.push(fmt_f(r.latency.p50.as_micros_f64()));
+        }
+        row
+    }) {
+        t.push(row);
+    }
+    t
+}
+
+/// Peak-throughput rows for one verb, including the concurrent series.
+fn throughput_table(verb: Verb, payloads: &[u64], quick: bool) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig 4 (lower): {} peak throughput [M reqs/s] vs payload",
+            verb.label()
+        ),
+        &[
+            "payload",
+            "RNIC(1)",
+            "SNIC(1)",
+            "SNIC(2)",
+            "SNIC(3)S2H",
+            "SNIC(3)H2S",
+            "SNIC(1)+(2)",
+            "SNIC(1)+(3)H2S",
+        ],
+    );
+    let sc = scenario(quick);
+    for row in par_rows(payloads, |p| {
+        let mut row = vec![fmt_bytes(p)];
+        // Single-path series.
+        for path in PathKind::ALL {
+            let s = Scenario {
+                server: if path == PathKind::Rnic1 {
+                    ServerKind::Rnic
+                } else {
+                    ServerKind::Bluefield
+                },
+                ..sc.clone()
+            };
+            let n = if path.is_remote() { 11 } else { 1 };
+            let spec = StreamSpec::new(path, verb, p, n);
+            let r = run_scenario(&s, &[spec]);
+            row.push(fmt_f(r.streams[0].ops.as_mops()));
+        }
+        // SNIC(1)+(2): half the clients each (§4 methodology).
+        let mut a = StreamSpec::new(PathKind::Snic1, verb, p, 11);
+        a.clients = (0..5).collect();
+        let mut b = StreamSpec::new(PathKind::Snic2, verb, p, 11);
+        b.clients = (5..11).collect();
+        let r = run_scenario(&sc, &[a, b]);
+        row.push(fmt_f(r.total_ops().as_mops()));
+        // SNIC(1)+(3)H2S: saturate path 1, add 24 host threads to SoC.
+        let a = StreamSpec::new(PathKind::Snic1, verb, p, 5);
+        let c = StreamSpec::new(PathKind::Snic3H2S, verb, p, 1);
+        let r = run_scenario(&sc, &[a, c]);
+        // The figure plots the inter-machine throughput under
+        // interference plus the intra traffic; report the total.
+        row.push(fmt_f(r.total_ops().as_mops()));
+        row
+    }) {
+        t.push(row);
+    }
+    t
+}
+
+/// Runs the full Figure 4 reproduction.
+pub fn run(quick: bool) -> Vec<Table> {
+    let payloads = small_payloads(quick);
+    let mut out = Vec::new();
+    for verb in Verb::ALL {
+        out.push(latency_table(verb, &payloads));
+    }
+    for verb in Verb::ALL {
+        out.push(throughput_table(verb, &payloads, quick));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_tables() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 6);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 2, "{}", t.title);
+        }
+    }
+
+    #[test]
+    fn read_latency_ordering_matches_paper() {
+        // SNIC(1) slower than RNIC(1); SNIC(2) between RNIC(1) and SNIC(1).
+        let rnic = measure_latency(PathKind::Rnic1, Verb::Read, 64).latency.p50;
+        let snic1 = measure_latency(PathKind::Snic1, Verb::Read, 64).latency.p50;
+        let snic2 = measure_latency(PathKind::Snic2, Verb::Read, 64).latency.p50;
+        assert!(rnic < snic1);
+        assert!(snic2 < snic1);
+    }
+
+    #[test]
+    fn snic2_read_throughput_beats_snic1() {
+        // §3.2: 1.08-1.48x for payloads < 512 B.
+        let sc = scenario(true);
+        let s1 = run_scenario(&sc, &[StreamSpec::new(PathKind::Snic1, Verb::Read, 64, 11)]);
+        let s2 = run_scenario(&sc, &[StreamSpec::new(PathKind::Snic2, Verb::Read, 64, 11)]);
+        let ratio = s2.streams[0].ops.as_mops() / s1.streams[0].ops.as_mops();
+        assert!((1.05..=1.6).contains(&ratio), "SNIC2/SNIC1 READ {ratio:.2}");
+    }
+
+    #[test]
+    fn snic1_small_read_throughput_below_rnic() {
+        // §3.1: 19-26% lower for payloads < 512 B.
+        let sc = scenario(true);
+        let rn = run_scenario(
+            &Scenario {
+                server: ServerKind::Rnic,
+                ..sc.clone()
+            },
+            &[StreamSpec::new(PathKind::Rnic1, Verb::Read, 64, 11)],
+        );
+        let sn = run_scenario(&sc, &[StreamSpec::new(PathKind::Snic1, Verb::Read, 64, 11)]);
+        let drop = 1.0 - sn.streams[0].ops.as_mops() / rn.streams[0].ops.as_mops();
+        assert!((0.10..=0.35).contains(&drop), "SNIC1 READ drop {drop:.2}");
+    }
+
+    #[test]
+    fn send_to_soc_collapses() {
+        // §3.2: two-sided throughput to the SoC drops by up to ~64%.
+        let sc = scenario(true);
+        let host = run_scenario(&sc, &[StreamSpec::new(PathKind::Snic1, Verb::Send, 64, 11)]);
+        let soc = run_scenario(&sc, &[StreamSpec::new(PathKind::Snic2, Verb::Send, 64, 11)]);
+        let drop = 1.0 - soc.streams[0].ops.as_mops() / host.streams[0].ops.as_mops();
+        assert!((0.45..=0.80).contains(&drop), "SEND SoC drop {drop:.2}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 7: peak throughput of 64 B one-sided requests versus the size
+//! of the (randomly addressed) target region — the skew anomaly.
+//!
+//! Host memory behind DDIO is flat across ranges; SoC memory collapses
+//! at narrow ranges because accesses serialize on few DRAM banks, writes
+//! worse than reads (Advice #1).
+
+use nicsim::{PathKind, Verb};
+
+use crate::harness::{run_scenario, StreamSpec};
+use crate::report::{fmt_bytes, fmt_f, Table};
+
+/// Request payload of the sweep.
+const PAYLOAD: u64 = 64;
+
+/// Address ranges swept (1.5 KB to 1 GB).
+pub fn ranges(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1536, 48 << 10, 1 << 30]
+    } else {
+        vec![
+            1536,
+            3 << 10,
+            6 << 10,
+            12 << 10,
+            24 << 10,
+            48 << 10,
+            96 << 10,
+            1 << 20,
+            16 << 20,
+            1 << 30,
+        ]
+    }
+}
+
+fn throughput(quick: bool, path: PathKind, verb: Verb, range: u64) -> f64 {
+    let sc = super::scenario(quick);
+    let spec = StreamSpec::new(path, verb, PAYLOAD, 11).with_range(range);
+    run_scenario(&sc, &[spec]).streams[0].ops.as_mops()
+}
+
+/// Runs the Figure 7 reproduction.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut read = Table::new(
+        "Fig 7(a): READ throughput [M reqs/s] vs address range",
+        &["range", "SoC mem (SNIC 2)", "Host mem w/ DDIO (SNIC 1)"],
+    );
+    let mut write = Table::new(
+        "Fig 7(b): WRITE throughput [M reqs/s] vs address range",
+        &["range", "SoC mem (SNIC 2)", "Host mem w/ DDIO (SNIC 1)"],
+    );
+    for r in ranges(quick) {
+        read.push(vec![
+            fmt_bytes(r),
+            fmt_f(throughput(quick, PathKind::Snic2, Verb::Read, r)),
+            fmt_f(throughput(quick, PathKind::Snic1, Verb::Read, r)),
+        ]);
+        write.push(vec![
+            fmt_bytes(r),
+            fmt_f(throughput(quick, PathKind::Snic2, Verb::Write, r)),
+            fmt_f(throughput(quick, PathKind::Snic1, Verb::Write, r)),
+        ]);
+    }
+    vec![read, write]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_write_collapse_ratio() {
+        // Paper: 77.9 -> 22.7 M/s (3.4x) between 48 KB and 1.5 KB.
+        let wide = throughput(true, PathKind::Snic2, Verb::Write, 48 << 10);
+        let narrow = throughput(true, PathKind::Snic2, Verb::Write, 1536);
+        let ratio = wide / narrow;
+        // Paper: 3.4x; our model collapses slightly harder (~5x) because
+        // the simulated wide-range plateau is context-bound a bit higher.
+        assert!((2.0..=6.0).contains(&ratio), "write collapse {ratio:.2}x");
+        // Absolute narrow rate near the paper's 22.7 M/s.
+        assert!(
+            (15.0..=32.0).contains(&narrow),
+            "narrow write {narrow:.1} M/s"
+        );
+    }
+
+    #[test]
+    fn soc_read_collapse_smaller() {
+        // Paper: 85 -> 50 M/s (1.7x).
+        let wide = throughput(true, PathKind::Snic2, Verb::Read, 48 << 10);
+        let narrow = throughput(true, PathKind::Snic2, Verb::Read, 1536);
+        let r_ratio = wide / narrow;
+        let w_wide = throughput(true, PathKind::Snic2, Verb::Write, 48 << 10);
+        let w_narrow = throughput(true, PathKind::Snic2, Verb::Write, 1536);
+        let w_ratio = w_wide / w_narrow;
+        assert!(
+            r_ratio < w_ratio,
+            "read {r_ratio:.2}x !< write {w_ratio:.2}x"
+        );
+        assert!(
+            (35.0..=65.0).contains(&narrow),
+            "narrow read {narrow:.1} M/s"
+        );
+    }
+
+    #[test]
+    fn host_ddio_flat() {
+        let wide = throughput(true, PathKind::Snic1, Verb::Write, 1 << 30);
+        let narrow = throughput(true, PathKind::Snic1, Verb::Write, 1536);
+        let ratio = wide / narrow;
+        assert!((0.8..=1.25).contains(&ratio), "host flatness {ratio:.2}");
+    }
+
+    #[test]
+    fn tables_have_sweep_rows() {
+        let t = run(true);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].rows.len(), ranges(true).len());
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 8: bandwidth and PCIe packet throughput for large transfers to
+//! host (SNIC 1) vs SoC (SNIC 2).
+//!
+//! The headline anomaly: READs to the SoC collapse above ~9 MB payloads
+//! because the 128 B PCIe MTU floods the NIC's completion-reorder window
+//! (Advice #2). The host path (512 B MTU) never collapses in the sweep.
+
+use nicsim::{PathKind, Verb};
+use pcie_model::counters::{CountDir, LinkId};
+
+use crate::harness::{run_scenario, Scenario, StreamSpec};
+use crate::report::{fmt_bytes, fmt_f, Table};
+use simnet::time::Nanos;
+
+fn measure(quick: bool, path: PathKind, verb: Verb, payload: u64) -> (f64, f64) {
+    // Large transfers need a long window to complete enough requests
+    // (a 16 MB READ alone takes ~0.7 ms of simulated time) but generate
+    // few events, so the longer horizon is cheap.
+    let sc = Scenario {
+        warmup: Nanos::from_millis(10),
+        duration: Nanos::from_millis(if quick { 80 } else { 250 }),
+        ..Scenario::default()
+    };
+    // Large transfers saturate with few outstanding requests.
+    let spec = StreamSpec::new(path, verb, payload, 4)
+        .with_threads(2)
+        .with_window(2);
+    let r = run_scenario(&sc, &[spec]);
+    let gbps = r.streams[0].goodput.as_gbps();
+    // The paper's counter metric: data packets in the dominant direction
+    // of the path's NIC-side channel (completions up for READ, posted
+    // writes down for WRITE).
+    let link = match path {
+        PathKind::Snic2 => LinkId::Pcie1,
+        _ => LinkId::Pcie0,
+    };
+    let dir = match verb {
+        Verb::Read => CountDir::Up,
+        _ => CountDir::Down,
+    };
+    let mpps = r.dir_data_tlp_rate(link, dir).as_mops();
+    (gbps, mpps)
+}
+
+/// Runs the Figure 8 reproduction.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut bw = Table::new(
+        "Fig 8(a): bandwidth [Gbps] vs payload (READ)",
+        &[
+            "payload",
+            "SNIC(1) READ",
+            "SNIC(2) READ",
+            "SNIC(1) WRITE",
+            "SNIC(2) WRITE",
+        ],
+    );
+    let mut pps = Table::new(
+        "Fig 8(b): PCIe packet throughput [Mpps] vs payload (READ)",
+        &["payload", "SNIC(1)", "SNIC(2)"],
+    );
+    for p in super::large_payloads(quick) {
+        let (g1, m1) = measure(quick, PathKind::Snic1, Verb::Read, p);
+        let (g2, m2) = measure(quick, PathKind::Snic2, Verb::Read, p);
+        let (w1, _) = measure(quick, PathKind::Snic1, Verb::Write, p);
+        let (w2, _) = measure(quick, PathKind::Snic2, Verb::Write, p);
+        bw.push(vec![
+            fmt_bytes(p),
+            fmt_f(g1),
+            fmt_f(g2),
+            fmt_f(w1),
+            fmt_f(w2),
+        ]);
+        pps.push(vec![fmt_bytes(p), fmt_f(m1), fmt_f(m2)]);
+    }
+    vec![bw, pps]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_read_collapses_above_9mb() {
+        let (below, _) = measure(true, PathKind::Snic2, Verb::Read, 8 << 20);
+        let (above, _) = measure(true, PathKind::Snic2, Verb::Read, 12 << 20);
+        assert!(below > 150.0, "below-threshold {below:.0} Gbps");
+        assert!(above < 140.0, "above-threshold {above:.0} Gbps");
+        assert!(below > 1.3 * above, "no collapse: {below:.0} vs {above:.0}");
+    }
+
+    #[test]
+    fn host_read_does_not_collapse() {
+        let (below, _) = measure(true, PathKind::Snic1, Verb::Read, 8 << 20);
+        let (above, _) = measure(true, PathKind::Snic1, Verb::Read, 12 << 20);
+        assert!(
+            above > 0.85 * below,
+            "host collapsed: {below:.0} -> {above:.0}"
+        );
+        assert!(above > 150.0, "host large read {above:.0} Gbps");
+    }
+
+    #[test]
+    fn soc_writes_unaffected_by_size() {
+        // Paper: WRITE is posted, DMA does not wait for completions.
+        let (below, _) = measure(true, PathKind::Snic2, Verb::Write, 8 << 20);
+        let (above, _) = measure(true, PathKind::Snic2, Verb::Write, 12 << 20);
+        assert!(
+            above > 0.85 * below,
+            "soc write dipped: {below:.0} -> {above:.0}"
+        );
+    }
+
+    #[test]
+    fn packet_rates_reflect_mtu_gap() {
+        // Near line rate the SoC path processes ~4x the PCIe packets of
+        // the host path (128 B vs 512 B TLPs).
+        let (_, host_pps) = measure(true, PathKind::Snic1, Verb::Read, 4 << 20);
+        let (_, soc_pps) = measure(true, PathKind::Snic2, Verb::Read, 4 << 20);
+        let ratio = soc_pps / host_pps;
+        assert!((2.5..=5.0).contains(&ratio), "pps ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn soc_pps_collapses_under_120mpps() {
+        // Figure 8(b): 186 Mpps -> <120 Mpps above 9 MB.
+        let (_, below) = measure(true, PathKind::Snic2, Verb::Read, 8 << 20);
+        let (_, above) = measure(true, PathKind::Snic2, Verb::Read, 12 << 20);
+        assert!(above < below, "{above:.0} !< {below:.0}");
+        assert!(above < 140.0, "collapsed pps {above:.0}");
+    }
+}

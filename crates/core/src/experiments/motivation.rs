@@ -1,0 +1,73 @@
+//! §2.1 motivation numbers: host CPU occupation under two-sided RDMA.
+//!
+//! "Saturating a 24-core server can only achieve 87 Mpps on a 200 Gbps
+//! RNIC, while NIC cores can process more than 195 Mpps."
+
+use nicsim::{PathKind, Verb};
+use topology::NicSpec;
+
+use crate::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
+use crate::report::{fmt_f, Table};
+
+/// Measured two-sided saturation of the host (M msgs/s).
+pub fn two_sided_mpps(quick: bool) -> f64 {
+    let sc = Scenario {
+        server: ServerKind::Rnic,
+        ..super::scenario(quick)
+    };
+    let spec = StreamSpec::new(PathKind::Rnic1, Verb::Send, 32, 11).with_window(12);
+    run_scenario(&sc, &[spec]).streams[0].ops.as_mops()
+}
+
+/// Measured NIC-core request rate with 0 B one-sided requests (M/s).
+pub fn nic_core_mpps(quick: bool) -> f64 {
+    let sc = Scenario {
+        server: ServerKind::Rnic,
+        ..super::scenario(quick)
+    };
+    let spec = StreamSpec::new(PathKind::Rnic1, Verb::Read, 0, 11).with_window(16);
+    run_scenario(&sc, &[spec]).streams[0].ops.as_mops()
+}
+
+/// Runs the §2.1 reproduction.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Motivation (§2.1): host CPU vs NIC cores on a 200 Gbps RNIC",
+        &["metric", "measured", "paper"],
+    );
+    t.push(vec![
+        "two-sided msgs/s on 24 cores [M]".into(),
+        fmt_f(two_sided_mpps(quick)),
+        "87".into(),
+    ]);
+    t.push(vec![
+        "NIC-core requests/s (0 B) [M]".into(),
+        fmt_f(nic_core_mpps(quick)),
+        ">195".into(),
+    ]);
+    t.push(vec![
+        "NIC-core analytic peak [M]".into(),
+        fmt_f(NicSpec::connectx6().peak_request_rate_mops()),
+        ">195".into(),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_two_sided_near_87mpps() {
+        let m = two_sided_mpps(true);
+        assert!((70.0..=100.0).contains(&m), "two-sided {m:.0} Mpps");
+    }
+
+    #[test]
+    fn nic_cores_exceed_host_by_2x() {
+        let host = two_sided_mpps(true);
+        let nic = nic_core_mpps(true);
+        assert!(nic > 1.8 * host, "nic {nic:.0} vs host {host:.0}");
+        assert!(nic > 150.0, "nic cores {nic:.0} Mpps");
+    }
+}

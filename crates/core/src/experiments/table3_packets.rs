@@ -1,0 +1,124 @@
+//! Table 3: PCIe packets required to transfer N bytes per path — the
+//! analytic model validated against the simulator's hardware counters.
+
+use nicsim::{PathKind, Verb};
+use pcie_model::counters::LinkId;
+
+use crate::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
+use crate::model::PacketModel;
+use crate::report::{fmt_bytes, Table};
+
+/// Transfer size used for validation.
+const N: u64 = 1 << 20;
+
+/// Counts data TLPs observed by the simulator for one large WRITE on
+/// `path` (per request).
+pub fn measured_tlps_per_request(path: PathKind) -> (f64, f64) {
+    // A long horizon keeps the in-flight boundary error small relative
+    // to the completed-request count.
+    let sc = Scenario {
+        server: if path == PathKind::Rnic1 {
+            ServerKind::Rnic
+        } else {
+            ServerKind::Bluefield
+        },
+        warmup: simnet::time::Nanos::from_millis(5),
+        duration: simnet::time::Nanos::from_millis(60),
+        ..super::scenario(true)
+    };
+    let spec = StreamSpec::new(path, Verb::Write, N, 2)
+        .with_threads(2)
+        .with_window(2);
+    let r = run_scenario(&sc, &[spec]);
+    let ops = r.streams[0].ops.as_per_sec() * r.window.as_secs_f64();
+    let p1 = r.counters.data_tlps(LinkId::Pcie1) as f64 / ops.max(1.0);
+    let p0 = r.counters.data_tlps(LinkId::Pcie0) as f64 / ops.max(1.0);
+    (p1, p0)
+}
+
+/// Runs the Table 3 reproduction.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let model = PacketModel::default();
+    let mut t = Table::new(
+        format!("Table 3: PCIe data packets to transfer {} ", fmt_bytes(N)),
+        &[
+            "path",
+            "PCIe1 (model)",
+            "PCIe0 (model)",
+            "PCIe1 (measured)",
+            "PCIe0 (measured)",
+        ],
+    );
+    for path in [
+        PathKind::Rnic1,
+        PathKind::Snic1,
+        PathKind::Snic2,
+        PathKind::Snic3S2H,
+    ] {
+        let m = model.packets(path, N);
+        let (p1, p0) = measured_tlps_per_request(path);
+        t.push(vec![
+            path.label().to_string(),
+            m.pcie1.to_string(),
+            m.pcie0.to_string(),
+            format!("{p1:.0}"),
+            format!("{p0:.0}"),
+        ]);
+    }
+    let mut mtu = Table::new(
+        "Table 3 (upper): PCIe MTU per endpoint",
+        &["endpoint", "MTU"],
+    );
+    mtu.push(vec!["host cores (H_MTU)".into(), "512".into()]);
+    mtu.push(vec!["SoC cores (S_MTU)".into(), "128".into()]);
+    vec![mtu, t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_write_tlps_match_model() {
+        let model = PacketModel::default();
+        for path in [PathKind::Snic1, PathKind::Snic2] {
+            let m = model.packets(path, N);
+            let (p1, p0) = measured_tlps_per_request(path);
+            // WRITEs are pure data TLPs: counters should match the model
+            // within 15% (in-flight boundary effects).
+            let ok = |model_v: u64, meas: f64| -> bool {
+                if model_v == 0 {
+                    meas < N as f64 / 512.0 * 0.2
+                } else {
+                    (meas - model_v as f64).abs() / (model_v as f64) < 0.15
+                }
+            };
+            assert!(
+                ok(m.pcie1, p1),
+                "{path:?} pcie1: model {} meas {p1:.0}",
+                m.pcie1
+            );
+            assert!(
+                ok(m.pcie0, p0),
+                "{path:?} pcie0: model {} meas {p0:.0}",
+                m.pcie0
+            );
+        }
+    }
+
+    #[test]
+    fn path3_pcie1_has_both_mtu_streams() {
+        let (p1, p0) = measured_tlps_per_request(PathKind::Snic3S2H);
+        let expect_p1 = (N / 128 + N / 512) as f64;
+        let expect_p0 = (N / 512) as f64;
+        assert!((p1 - expect_p1).abs() / expect_p1 < 0.2, "pcie1 {p1:.0}");
+        assert!((p0 - expect_p0).abs() / expect_p0 < 0.2, "pcie0 {p0:.0}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = run(true);
+        assert_eq!(t.len(), 2);
+        assert!(t[1].to_text().contains("SNIC"));
+    }
+}

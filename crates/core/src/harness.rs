@@ -1,0 +1,580 @@
+//! Closed-loop measurement harness.
+//!
+//! Reimplements the paper's methodology (§2.4) on the simulator: one
+//! requester machine for latency, up to eleven to saturate a responder;
+//! each requester thread keeps a window of outstanding requests and posts
+//! a new one as each completes; runs have a warmup phase after which
+//! meters and hardware counters are reset.
+//!
+//! A [`Scenario`] runs one or more concurrent [`StreamSpec`]s against a
+//! single responder — concurrency experiments (paths 1+2, 1+3) are just
+//! multi-stream scenarios.
+
+use nicsim::{Fabric, PathKind, RequestDesc, Verb};
+use pcie_model::counters::{LinkId, PcieCounters};
+use rdma_sim::doorbell::{PostCostModel, PostMode, PosterKind};
+use simnet::engine::{Engine, Step};
+use simnet::rng::SimRng;
+use simnet::stats::{Histogram, LatencySummary, RateMeter};
+use simnet::time::{Bandwidth, Nanos, Rate};
+
+/// Which responder machine a scenario runs against.
+// `Custom` embeds a full MachineSpec (~500 B); scenarios are built a
+// handful of times per experiment, so moving it by value is fine.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerKind {
+    /// Bluefield-2 SmartNIC (all paths available).
+    Bluefield,
+    /// Plain ConnectX-6 RNIC (only `RNIC(1)`).
+    Rnic,
+    /// A custom machine spec (ablation studies).
+    Custom(topology::MachineSpec),
+}
+
+/// One load stream: a set of requester threads issuing one verb on one
+/// path.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Label used in reports.
+    pub label: String,
+    /// Communication path.
+    pub path: PathKind,
+    /// Verb.
+    pub verb: Verb,
+    /// Payload bytes.
+    pub payload: u64,
+    /// Base of the target address region.
+    pub addr_base: u64,
+    /// Size of the target address region (random offsets within).
+    pub addr_range: u64,
+    /// Requester machines used (client indices; ignored for path 3).
+    pub clients: Vec<usize>,
+    /// Threads per requester machine (path 3: total threads).
+    pub threads_per_client: usize,
+    /// Outstanding requests per thread.
+    pub window: usize,
+    /// Posting mode.
+    pub post_mode: PostMode,
+    /// Optional per-stream goodput cap (used by the §4 bandwidth-budget
+    /// experiment to throttle path 3).
+    pub rate_cap: Option<Bandwidth>,
+}
+
+impl StreamSpec {
+    /// Default window per path, calibrated to the paper's §3.3
+    /// observation that a single requester processor cannot saturate the
+    /// NIC with small requests (S2H 29 M/s, H2S 51.2 M/s).
+    pub fn default_window(path: PathKind) -> usize {
+        match path {
+            PathKind::Rnic1 | PathKind::Snic1 | PathKind::Snic2 => 8,
+            PathKind::Snic3H2S => 4,
+            PathKind::Snic3S2H => 9,
+        }
+    }
+
+    /// Default thread count per requester (the paper uses 12-thread
+    /// client processes; path-3 requesters use all 24 host cores or all
+    /// 8 SoC cores).
+    pub fn default_threads(path: PathKind) -> usize {
+        match path {
+            PathKind::Rnic1 | PathKind::Snic1 | PathKind::Snic2 => 12,
+            PathKind::Snic3H2S => 24,
+            PathKind::Snic3S2H => 8,
+        }
+    }
+
+    /// A stream over `n_clients` requester machines with paper-default
+    /// windows and threads, targeting a 10 GB region (§2.4 uses 10 GB of
+    /// randomly addressed memory... scaled to 1 GB here to bound memory
+    /// tracking; the range only matters at the small end, Figure 7).
+    pub fn new(path: PathKind, verb: Verb, payload: u64, n_clients: usize) -> Self {
+        StreamSpec {
+            label: format!("{} {}", path.label(), verb.label()),
+            path,
+            verb,
+            payload,
+            addr_base: 0,
+            addr_range: 1 << 30,
+            clients: (0..n_clients).collect(),
+            threads_per_client: Self::default_threads(path),
+            window: Self::default_window(path),
+            // The paper's framework applies the known optimizations
+            // (§2.4), which on the SoC side means doorbell batching
+            // (Advice #4 makes MMIO posting from the A72 prohibitive).
+            post_mode: if path == PathKind::Snic3S2H {
+                PostMode::Doorbell(32)
+            } else {
+                PostMode::Mmio
+            },
+            rate_cap: None,
+        }
+    }
+
+    /// Overrides the target address range (Figure 7 skew sweeps).
+    pub fn with_range(mut self, range: u64) -> Self {
+        self.addr_range = range;
+        self
+    }
+
+    /// Overrides the posting mode (Figure 10).
+    pub fn with_post_mode(mut self, mode: PostMode) -> Self {
+        self.post_mode = mode;
+        self
+    }
+
+    /// Caps the stream's goodput (the §4 budget experiment).
+    pub fn with_rate_cap(mut self, cap: Bandwidth) -> Self {
+        self.rate_cap = Some(cap);
+        self
+    }
+
+    /// Overrides the window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides threads per client.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads_per_client = threads;
+        self
+    }
+
+    fn total_threads(&self) -> usize {
+        if self.path.is_remote() {
+            self.clients.len() * self.threads_per_client
+        } else {
+            self.threads_per_client
+        }
+    }
+}
+
+/// A measurement run configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Responder machine kind.
+    pub server: ServerKind,
+    /// Number of client machines to instantiate.
+    pub n_clients: usize,
+    /// Warmup simulated time (meters reset afterwards).
+    pub warmup: Nanos,
+    /// Total simulated time.
+    pub duration: Nanos,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            server: ServerKind::Bluefield,
+            n_clients: 11,
+            warmup: Nanos::from_micros(200),
+            duration: Nanos::from_millis(2),
+            seed: 42,
+        }
+    }
+}
+
+impl Scenario {
+    /// A latency-oriented scenario: one client, single outstanding
+    /// request per thread (the paper's latency methodology).
+    pub fn latency() -> Self {
+        Scenario {
+            n_clients: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A throughput scenario against the RNIC baseline.
+    pub fn rnic() -> Self {
+        Scenario {
+            server: ServerKind::Rnic,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-stream measurement outcome.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// The stream's label.
+    pub label: String,
+    /// Latency distribution over the measurement window.
+    pub latency: LatencySummary,
+    /// Completed-operations rate.
+    pub ops: Rate,
+    /// Payload goodput.
+    pub goodput: Bandwidth,
+}
+
+/// Whole-scenario outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// One result per stream, in input order.
+    pub streams: Vec<StreamResult>,
+    /// PCIe counter deltas over the measurement window.
+    pub counters: PcieCounters,
+    /// Measurement window length.
+    pub window: Nanos,
+}
+
+impl ScenarioResult {
+    /// Aggregate operations rate across streams.
+    pub fn total_ops(&self) -> Rate {
+        Rate::per_sec(self.streams.iter().map(|s| s.ops.as_per_sec()).sum())
+    }
+
+    /// Aggregate goodput across streams.
+    pub fn total_goodput(&self) -> Bandwidth {
+        Bandwidth::bytes_per_sec(
+            self.streams
+                .iter()
+                .map(|s| s.goodput.as_bytes_per_sec())
+                .sum(),
+        )
+    }
+
+    /// TLP throughput on one link over the measurement window.
+    pub fn tlp_rate(&self, link: LinkId) -> Rate {
+        self.counters.tlp_rate(link, self.window)
+    }
+
+    /// TLP throughput across all links.
+    pub fn total_tlp_rate(&self) -> Rate {
+        self.counters.total_tlp_rate(self.window)
+    }
+
+    /// TLP throughput on the SmartNIC's PCIe channels (PCIe1 + PCIe0) —
+    /// the quantity the paper's hardware counters report (Fig 8b/9b).
+    pub fn nic_tlp_rate(&self) -> Rate {
+        Rate::per_sec(
+            (self.counters.tlps(LinkId::Pcie1) + self.counters.tlps(LinkId::Pcie0)) as f64
+                / self.window.as_secs_f64().max(1e-12),
+        )
+    }
+
+    /// Data-bearing TLP throughput on the SmartNIC's PCIe channels —
+    /// matches Table 3's simplified model (control packets omitted).
+    pub fn nic_data_tlp_rate(&self) -> Rate {
+        Rate::per_sec(
+            (self.counters.data_tlps(LinkId::Pcie1) + self.counters.data_tlps(LinkId::Pcie0))
+                as f64
+                / self.window.as_secs_f64().max(1e-12),
+        )
+    }
+
+    /// Data-bearing TLP throughput on one link, one direction.
+    pub fn dir_data_tlp_rate(&self, link: LinkId, dir: pcie_model::counters::CountDir) -> Rate {
+        Rate::per_sec(
+            self.counters.dir_data_tlps(link, dir) as f64 / self.window.as_secs_f64().max(1e-12),
+        )
+    }
+}
+
+struct ThreadState {
+    cpu_free: Nanos,
+    next_allowed: Nanos,
+    rng: SimRng,
+}
+
+struct StreamState {
+    spec: StreamSpec,
+    cost: PostCostModel,
+    threads: Vec<ThreadState>,
+    hist: Histogram,
+    meter: RateMeter,
+    pace: Nanos,
+}
+
+#[derive(Clone, Copy)]
+struct Ev {
+    stream: usize,
+    thread: usize,
+}
+
+/// Runs `streams` concurrently under `scenario`.
+///
+/// # Panics
+///
+/// Panics if a stream references a missing client machine, or a SmartNIC
+/// path is run against the RNIC server.
+pub fn run_scenario(scenario: &Scenario, streams: &[StreamSpec]) -> ScenarioResult {
+    run_scenario_detailed(scenario, streams).0
+}
+
+/// Like [`run_scenario`] but also returns the post-run fabric, exposing
+/// resource utilizations and raw counters for deeper analysis.
+pub fn run_scenario_detailed(
+    scenario: &Scenario,
+    streams: &[StreamSpec],
+) -> (ScenarioResult, Fabric) {
+    let mut fabric = match scenario.server {
+        ServerKind::Bluefield => Fabric::bluefield_testbed(scenario.n_clients),
+        ServerKind::Rnic => Fabric::rnic_testbed(scenario.n_clients),
+        ServerKind::Custom(spec) => Fabric::new(
+            spec,
+            scenario.n_clients,
+            topology::cluster::WireSpec::sb7890(),
+        ),
+    };
+    let mut root_rng = SimRng::seed(scenario.seed);
+
+    let mut states: Vec<StreamState> = streams
+        .iter()
+        .map(|spec| {
+            let poster = PosterKind::for_path(spec.path);
+            let cost = match poster {
+                PosterKind::Client => {
+                    let c = spec.clients.first().expect("stream needs clients");
+                    PostCostModel::new(fabric.clients[*c].spec(), poster)
+                }
+                _ => PostCostModel::new(fabric.server.spec(), poster),
+            };
+            let n = spec.total_threads();
+            let pace = match spec.rate_cap {
+                Some(cap) => {
+                    // Per-thread inter-post interval to hold the cap.
+                    let per_thread = Bandwidth::bytes_per_sec(cap.as_bytes_per_sec() / n as f64);
+                    per_thread.transfer_time(spec.payload.max(1))
+                }
+                None => Nanos::ZERO,
+            };
+            StreamState {
+                cost,
+                threads: (0..n)
+                    .map(|i| ThreadState {
+                        cpu_free: Nanos::ZERO,
+                        next_allowed: Nanos::ZERO,
+                        rng: root_rng.fork(i as u64),
+                    })
+                    .collect(),
+                hist: Histogram::new(),
+                meter: RateMeter::new(),
+                pace,
+                spec: spec.clone(),
+            }
+        })
+        .collect();
+
+    let horizon = scenario.duration;
+    let mut eng: Engine<Ev> = Engine::new();
+    // Seed the windows, staggering posts slightly so same-instant FIFO
+    // ordering does not favour stream 0.
+    for (si, st) in states.iter().enumerate() {
+        for ti in 0..st.threads.len() {
+            for w in 0..st.spec.window {
+                let jitter = Nanos::new((si + ti * 7 + w * 13) as u64 % 97);
+                eng.schedule(
+                    jitter,
+                    Ev {
+                        stream: si,
+                        thread: ti,
+                    },
+                )
+                .expect("seeding events at t~0");
+            }
+        }
+    }
+
+    let handler = |eng: &mut Engine<Ev>,
+                   now: Nanos,
+                   ev: Ev,
+                   fabric: &mut Fabric,
+                   states: &mut Vec<StreamState>| {
+        let st = &mut states[ev.stream];
+        let spec = &st.spec;
+        let th = &mut st.threads[ev.thread];
+        // If the thread cannot post yet (CPU pacing or a rate cap),
+        // defer the event instead of reserving resources with a future
+        // post time — early reservations would block FIFO resources for
+        // later-posted-but-earlier requests of other threads.
+        let earliest = th.cpu_free.max(th.next_allowed);
+        if earliest > now {
+            eng.schedule(earliest, ev)
+                .expect("deferred post is in the future");
+            return;
+        }
+        let posted = now;
+        th.cpu_free = posted + st.cost.cpu_time_per_request(spec.post_mode);
+        if st.pace > Nanos::ZERO {
+            th.next_allowed = posted + st.pace;
+        }
+        let align = 64;
+        let addr = if spec.addr_range >= align {
+            th.rng.addr_in_range(spec.addr_base, spec.addr_range, align)
+        } else {
+            spec.addr_base
+        };
+        let client = if spec.path.is_remote() {
+            spec.clients[ev.thread / spec.threads_per_client]
+        } else {
+            0
+        };
+        let req = RequestDesc::new(spec.verb, spec.path, spec.payload, addr, client);
+        let c = fabric.execute(posted, req);
+        // Only completions inside the fixed measurement window count:
+        // completions past the horizon belong to terminal backlog and
+        // would bias the rate (their posts are matched by pre-window
+        // posts completing inside the window).
+        if c.completed <= horizon {
+            st.hist.record(c.latency());
+            st.meter.record(c.completed, spec.payload);
+        }
+        eng.schedule(
+            c.completed.max(now),
+            Ev {
+                stream: ev.stream,
+                thread: ev.thread,
+            },
+        )
+        .expect("completion is in the future");
+    };
+
+    // Warmup phase.
+    eng.run_until(scenario.warmup, |eng, now, ev| {
+        handler(eng, now, ev, &mut fabric, &mut states);
+        Step::Continue
+    });
+    // Reset meters and counters; measure.
+    for st in &mut states {
+        st.hist = Histogram::new();
+        st.meter.open_window(scenario.warmup);
+    }
+    let snap = fabric.server.counters().snapshot();
+    eng.run_until(scenario.duration, |eng, now, ev| {
+        handler(eng, now, ev, &mut fabric, &mut states);
+        Step::Continue
+    });
+
+    let counters = fabric.server.counters().delta_since(&snap);
+    let window = scenario.duration - scenario.warmup;
+    let wsecs = window.as_secs_f64();
+    let result = ScenarioResult {
+        streams: states
+            .iter()
+            .map(|st| StreamResult {
+                label: st.spec.label.clone(),
+                latency: st.hist.summary(),
+                ops: Rate::per_sec(st.meter.ops() as f64 / wsecs),
+                goodput: Bandwidth::bytes_per_sec(st.meter.bytes() as f64 / wsecs),
+            })
+            .collect(),
+        counters,
+        window,
+    };
+    (result, fabric)
+}
+
+/// Convenience: measure one stream's latency with the paper's latency
+/// methodology (1 client, window 1, 1 thread).
+pub fn measure_latency(path: PathKind, verb: Verb, payload: u64) -> StreamResult {
+    let scenario = Scenario {
+        server: if path == PathKind::Rnic1 {
+            ServerKind::Rnic
+        } else {
+            ServerKind::Bluefield
+        },
+        ..Scenario::latency()
+    };
+    let spec = StreamSpec {
+        threads_per_client: 1,
+        window: 1,
+        ..StreamSpec::new(path, verb, payload, 1)
+    };
+    run_scenario(&scenario, &[spec]).streams.remove(0)
+}
+
+/// Convenience: measure one stream's peak throughput with the paper's
+/// throughput methodology (11 clients for remote paths).
+pub fn measure_throughput(path: PathKind, verb: Verb, payload: u64) -> StreamResult {
+    let scenario = Scenario {
+        server: if path == PathKind::Rnic1 {
+            ServerKind::Rnic
+        } else {
+            ServerKind::Bluefield
+        },
+        ..Scenario::default()
+    };
+    let n = if path.is_remote() { 11 } else { 1 };
+    let spec = StreamSpec::new(path, verb, payload, n);
+    run_scenario(&scenario, &[spec]).streams.remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_run_single_request_window() {
+        let r = measure_latency(PathKind::Snic1, Verb::Read, 64);
+        assert!(
+            r.latency.count > 100,
+            "too few samples: {}",
+            r.latency.count
+        );
+        // Window 1: p50 should be tight around the mean.
+        let p50 = r.latency.p50.as_nanos() as f64;
+        let mean = r.latency.mean.as_nanos() as f64;
+        assert!((p50 - mean).abs() / mean < 0.25, "p50 {p50} vs mean {mean}");
+    }
+
+    #[test]
+    fn throughput_run_produces_rates() {
+        let r = measure_throughput(PathKind::Snic1, Verb::Write, 64);
+        assert!(r.ops.as_mops() > 10.0, "write rate {}", r.ops);
+        assert!(r.goodput.as_gbps() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = measure_throughput(PathKind::Snic2, Verb::Read, 256);
+        let b = measure_throughput(PathKind::Snic2, Verb::Read, 256);
+        assert_eq!(a.ops.as_per_sec(), b.ops.as_per_sec());
+        assert_eq!(a.latency.p99, b.latency.p99);
+    }
+
+    #[test]
+    fn multi_stream_scenario_reports_each() {
+        let scenario = Scenario::default();
+        let s1 = StreamSpec::new(PathKind::Snic1, Verb::Read, 64, 5);
+        let mut s2 = StreamSpec::new(PathKind::Snic2, Verb::Read, 64, 5);
+        s2.clients = (5..10).collect();
+        let r = run_scenario(&scenario, &[s1, s2]);
+        assert_eq!(r.streams.len(), 2);
+        assert!(r.total_ops().as_mops() > r.streams[0].ops.as_mops());
+    }
+
+    #[test]
+    fn rate_cap_throttles_stream() {
+        let scenario = Scenario::default();
+        let uncapped = StreamSpec::new(PathKind::Snic3H2S, Verb::Write, 4096, 1);
+        let capped = uncapped.clone().with_rate_cap(Bandwidth::gbps(10.0));
+        let ru = run_scenario(&scenario, &[uncapped]);
+        let rc = run_scenario(&scenario, &[capped]);
+        let gu = ru.streams[0].goodput.as_gbps();
+        let gc = rc.streams[0].goodput.as_gbps();
+        assert!(gc < 12.0, "cap violated: {gc:.1} Gbps");
+        assert!(gu > gc, "uncapped {gu:.1} should exceed capped {gc:.1}");
+    }
+
+    #[test]
+    fn counters_cover_measurement_window_only() {
+        let scenario = Scenario::default();
+        let spec = StreamSpec::new(PathKind::Snic1, Verb::Write, 512, 2);
+        let r = run_scenario(&scenario, &[spec]);
+        let tlps = r.counters.tlps(LinkId::Pcie0);
+        assert!(tlps > 0);
+        // TLP count should be consistent with ops (1 TLP per 512 B write).
+        let ops_in_window = r.streams[0].ops.as_per_sec() * r.window.as_secs_f64();
+        let ratio = tlps as f64 / ops_in_window;
+        assert!((0.8..=1.3).contains(&ratio), "tlps/op {ratio:.2}");
+    }
+
+    #[test]
+    fn zero_payload_supported() {
+        let r = measure_throughput(PathKind::Snic1, Verb::Read, 0);
+        assert!(r.ops.as_mops() > 50.0, "0B rate {}", r.ops);
+    }
+}

@@ -1,0 +1,148 @@
+//! Bandwidth-bottleneck model (§3.1-§3.3 "Bottleneck" paragraphs, §4).
+//!
+//! Encodes which resource caps each path and how bidirectional traffic
+//! composes:
+//!
+//! * paths 1 and 2 are capped by the *lower* of the NIC and the PCIe
+//!   channels they cross, per direction — opposite-direction flows
+//!   multiplex on full-duplex links, so their combined ceiling doubles;
+//! * path 3 occupies *both* directions of PCIe1 for a single flow, so
+//!   its ceiling is the unidirectional PCIe limit and opposite flows gain
+//!   nothing;
+//! * running path 3 alongside inter-machine traffic steals PCIe
+//!   headroom: the safe path-3 budget is `P - N` (§4, 56 Gbps on the
+//!   testbed).
+
+use nicsim::PathKind;
+use simnet::time::Bandwidth;
+use topology::SmartNicSpec;
+
+/// Static bandwidth limits of one SmartNIC deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct BottleneckModel {
+    /// NIC network bandwidth (per direction).
+    pub nic: Bandwidth,
+    /// PCIe1 bandwidth (per direction).
+    pub pcie1: Bandwidth,
+    /// PCIe0 bandwidth (per direction).
+    pub pcie0: Bandwidth,
+}
+
+impl BottleneckModel {
+    /// Builds the model from a SmartNIC spec.
+    pub fn from_spec(s: &SmartNicSpec) -> Self {
+        BottleneckModel {
+            nic: s.nic.network_bw,
+            pcie1: s.pcie1.raw_bandwidth(),
+            pcie0: s.pcie0.raw_bandwidth(),
+        }
+    }
+
+    /// The Bluefield-2 deployment of the paper (200 Gbps NIC, PCIe 4.0
+    /// x16 channels).
+    pub fn bluefield2() -> Self {
+        Self::from_spec(&SmartNicSpec::bluefield2())
+    }
+
+    /// Single-direction bandwidth ceiling of one path.
+    pub fn unidirectional_limit(&self, path: PathKind) -> Bandwidth {
+        match path {
+            PathKind::Rnic1 => self.nic.min(self.pcie0),
+            PathKind::Snic1 => self.nic.min(self.pcie1).min(self.pcie0),
+            PathKind::Snic2 => self.nic.min(self.pcie1),
+            // Path 3 never touches the wire; it is PCIe-bound.
+            PathKind::Snic3S2H | PathKind::Snic3H2S => self.pcie1.min(self.pcie0),
+        }
+    }
+
+    /// Ceiling when the path carries opposite-direction flows (e.g.
+    /// READ + WRITE): full-duplex links double for paths 1/2 but path 3
+    /// already consumes both directions (§3.3, Figure 5).
+    pub fn bidirectional_limit(&self, path: PathKind) -> Bandwidth {
+        let uni = self.unidirectional_limit(path);
+        match path {
+            PathKind::Snic3S2H | PathKind::Snic3H2S => uni,
+            _ => uni.scale(2.0),
+        }
+    }
+
+    /// The §4 rule: with inter-machine traffic saturating the NIC, the
+    /// bandwidth safely available to host-SoC transfers is `P - N`
+    /// (PCIe limit minus network limit); 56 Gbps on the testbed.
+    pub fn path3_budget(&self) -> Bandwidth {
+        let p = self.pcie1.min(self.pcie0);
+        Bandwidth::gbps((p.as_gbps() - self.nic.as_gbps()).max(0.0))
+    }
+
+    /// Predicted aggregate ceiling of running `a` and `b` concurrently
+    /// with opposite-direction inter-machine flows where possible (§4).
+    pub fn concurrent_limit(&self, a: PathKind, b: PathKind) -> Bandwidth {
+        use PathKind::*;
+        match (a, b) {
+            // 1+2: both NIC-bound; bidirectional NIC is the ceiling.
+            (Snic1, Snic2) | (Snic2, Snic1) => self.nic.scale(2.0),
+            // 1+3 (or 2+3): path 3 occupies PCIe1 both ways; the sum is
+            // capped by the PCIe unidirectional limit unless path 1 runs
+            // bidirectionally, which adds the budget headroom on top.
+            (Snic1 | Snic2, Snic3S2H | Snic3H2S) | (Snic3S2H | Snic3H2S, Snic1 | Snic2) => {
+                // Bidirectional NIC traffic + budget-capped path 3.
+                Bandwidth::gbps(self.nic.as_gbps() * 2.0 + self.path3_budget().as_gbps())
+            }
+            _ => self.bidirectional_limit(a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_limits() {
+        let m = BottleneckModel::bluefield2();
+        // NIC 200 Gbps is the path-1/2 bottleneck (PCIe 4.0 x16 ~ 252).
+        assert!((m.unidirectional_limit(PathKind::Snic1).as_gbps() - 200.0).abs() < 1.0);
+        assert!((m.unidirectional_limit(PathKind::Snic2).as_gbps() - 200.0).abs() < 1.0);
+        // Path 3 is PCIe-bound (~252 Gbps raw; the paper measures 204
+        // goodput after TLP overhead).
+        let p3 = m.unidirectional_limit(PathKind::Snic3S2H).as_gbps();
+        assert!(p3 > 200.0 && p3 < 260.0, "{p3}");
+    }
+
+    #[test]
+    fn bidirectional_doubles_only_remote_paths() {
+        let m = BottleneckModel::bluefield2();
+        let s1 = m.bidirectional_limit(PathKind::Snic1).as_gbps();
+        assert!((s1 - 400.0).abs() < 2.0, "{s1}");
+        let p3u = m.unidirectional_limit(PathKind::Snic3H2S).as_gbps();
+        let p3b = m.bidirectional_limit(PathKind::Snic3H2S).as_gbps();
+        assert!((p3u - p3b).abs() < 1e-9, "path 3 must not double");
+    }
+
+    #[test]
+    fn budget_is_56gbps() {
+        // §4: P - N = 256 - 200 = 56 Gbps (the paper quotes nominal
+        // link rates; our raw PCIe is 252 after encoding -> ~52).
+        let b = BottleneckModel::bluefield2().path3_budget().as_gbps();
+        assert!((45.0..=60.0).contains(&b), "budget {b:.0} Gbps");
+    }
+
+    #[test]
+    fn concurrent_1_plus_3_reaches_456gbps() {
+        // §4: 2x200 (bidirectional NIC) + 56 = 456 Gbps aggregate.
+        let m = BottleneckModel::bluefield2();
+        let c = m
+            .concurrent_limit(PathKind::Snic1, PathKind::Snic3H2S)
+            .as_gbps();
+        assert!((440.0..=460.0).contains(&c), "{c:.0}");
+    }
+
+    #[test]
+    fn concurrent_1_plus_2_is_nic_bound() {
+        let m = BottleneckModel::bluefield2();
+        let c = m
+            .concurrent_limit(PathKind::Snic1, PathKind::Snic2)
+            .as_gbps();
+        assert!((c - 400.0).abs() < 2.0, "{c:.0}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Analytic latency model: a hop-sum predictor for small requests.
+//!
+//! Predicts end-to-end latency of small one-sided verbs by summing the
+//! fixed hop latencies of a path (the Figure 3 execution flows). Used to
+//! cross-validate the discrete-event simulator: tests assert the DES and
+//! the analytic model agree within tolerance for unloaded single
+//! requests, which guards against accidental double-charging of hops.
+
+use nicsim::{PathKind, Verb};
+use simnet::time::Nanos;
+use topology::{ClusterSpec, MachineSpec, SmartNicSpec};
+
+/// Analytic small-request latency model over the paper testbed.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    srv: MachineSpec,
+    cli: MachineSpec,
+    wire_oneway: Nanos,
+}
+
+/// Pipeline latency of NIC processing stages (see `nicsim::server`).
+const PU_LAT: Nanos = Nanos::new(80);
+/// First-chunk cut-through latency at the responder memory.
+const FIRST_CHUNK: Nanos = Nanos::new(50);
+
+impl LatencyModel {
+    /// The paper-testbed model.
+    pub fn paper_testbed() -> Self {
+        let c = ClusterSpec::paper_testbed();
+        LatencyModel {
+            srv: c.servers[0],
+            cli: c.clients[0],
+            wire_oneway: c.wire.one_way_latency,
+        }
+    }
+
+    fn smart(&self) -> &SmartNicSpec {
+        self.srv
+            .nic
+            .smartnic()
+            .expect("testbed server is a Bluefield")
+    }
+
+    /// One-way NIC-to-memory latency at the responder for `path`.
+    fn responder_mem_oneway(&self, path: PathKind) -> Nanos {
+        let host_leaf = self.srv.host.pcie_latency + self.srv.host.root_complex_latency;
+        match path {
+            PathKind::Rnic1 => host_leaf,
+            PathKind::Snic1 | PathKind::Snic3S2H => {
+                self.smart().pcie1_hop_latency + self.smart().switch.crossing_latency + host_leaf
+            }
+            PathKind::Snic2 | PathKind::Snic3H2S => {
+                self.smart().pcie1_hop_latency
+                    + self.smart().switch.crossing_latency
+                    + self.smart().soc.attach_latency
+            }
+        }
+    }
+
+    /// Predicted unloaded latency of a small request.
+    pub fn predict(&self, path: PathKind, verb: Verb, payload: u64) -> Nanos {
+        // Requester side.
+        let requester = match path {
+            PathKind::Snic3S2H => {
+                self.smart().soc.mmio_latency
+                    + self.smart().soc.attach_latency
+                    + self.smart().switch.crossing_latency
+                    + self.smart().pcie1_hop_latency
+            }
+            PathKind::Snic3H2S => {
+                self.srv.host.cpu.mmio_latency
+                    + self.srv.host.pcie_latency
+                    + self.smart().switch.crossing_latency
+                    + self.smart().pcie1_hop_latency
+            }
+            _ => self.cli.host.cpu.mmio_latency + self.cli.host.pcie_latency,
+        };
+
+        // Network legs (remote paths only): client PU + wire, both ways.
+        let network = if path.is_remote() {
+            (PU_LAT + self.wire_oneway) * 2
+        } else {
+            Nanos::ZERO
+        };
+
+        // Responder NIC + memory legs.
+        let mem_oneway = self.responder_mem_oneway(path);
+        let mem_small = Nanos::new(40); // small DRAM/LLC access
+        let dma = match (verb, path.is_remote()) {
+            // READ: request + completion cross the responder PCIe twice.
+            (Verb::Read, _) => mem_oneway * 2 + FIRST_CHUNK + mem_small,
+            // WRITE/SEND: posted, one crossing.
+            (Verb::Write | Verb::Send, _) => mem_oneway + mem_small,
+        };
+
+        // Path 3 moves data between two memories: add the second leg.
+        let second_leg = if path.is_remote() {
+            Nanos::ZERO
+        } else {
+            // The other endpoint's one-way + small access + CQE return.
+            let other = match path {
+                PathKind::Snic3S2H => self.responder_mem_oneway(PathKind::Snic3H2S),
+                _ => self.responder_mem_oneway(PathKind::Snic3S2H),
+            };
+            other + mem_small
+        };
+
+        // Two-sided handling.
+        let cpu = match (verb, path) {
+            (Verb::Send, PathKind::Snic2 | PathKind::Snic3H2S) => {
+                self.smart().soc.msg_handle_time + self.smart().soc.msg_extra_latency
+            }
+            (Verb::Send, _) => self.srv.host.cpu.msg_handle_time,
+            _ => Nanos::ZERO,
+        };
+
+        // Completion delivery to the requester.
+        let completion = if path.is_remote() {
+            self.cli.host.pcie_latency + self.cli.host.root_complex_latency
+        } else {
+            match path {
+                PathKind::Snic3S2H => self.responder_mem_oneway(PathKind::Snic3H2S),
+                _ => self.responder_mem_oneway(PathKind::Snic3S2H),
+            }
+        };
+
+        // Serialization of the payload over the slowest link (~client
+        // NIC at 100 Gbps for remote paths).
+        let ser = if path.is_remote() {
+            Nanos::from_nanos_f64(payload as f64 / 12.5)
+        } else {
+            Nanos::from_nanos_f64(payload as f64 / 25.0)
+        };
+
+        requester + network + PU_LAT + dma + second_leg + cpu + completion + ser
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::measure_latency;
+
+    #[test]
+    fn predicts_read_ordering_across_paths() {
+        let m = LatencyModel::paper_testbed();
+        let rnic = m.predict(PathKind::Rnic1, Verb::Read, 64);
+        let snic1 = m.predict(PathKind::Snic1, Verb::Read, 64);
+        let snic2 = m.predict(PathKind::Snic2, Verb::Read, 64);
+        assert!(rnic < snic1, "rnic {rnic} !< snic1 {snic1}");
+        assert!(snic2 < snic1, "snic2 {snic2} !< snic1 {snic1}");
+    }
+
+    #[test]
+    fn write_cheaper_than_read_everywhere() {
+        let m = LatencyModel::paper_testbed();
+        for path in PathKind::ALL {
+            let r = m.predict(path, Verb::Read, 64);
+            let w = m.predict(path, Verb::Write, 64);
+            assert!(w < r, "{path:?}: write {w} !< read {r}");
+        }
+    }
+
+    #[test]
+    fn cross_validates_against_des_small_reads() {
+        // The analytic model and the DES must agree within 25% for
+        // unloaded small requests on the remote paths.
+        let m = LatencyModel::paper_testbed();
+        for path in [PathKind::Rnic1, PathKind::Snic1, PathKind::Snic2] {
+            let analytic = m.predict(path, Verb::Read, 64).as_nanos() as f64;
+            let des = measure_latency(path, Verb::Read, 64).latency.p50.as_nanos() as f64;
+            let err = (analytic - des).abs() / des;
+            assert!(
+                err < 0.25,
+                "{path:?}: analytic {analytic:.0} vs DES {des:.0} ({err:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_grows_latency() {
+        let m = LatencyModel::paper_testbed();
+        let small = m.predict(PathKind::Snic1, Verb::Read, 64);
+        let large = m.predict(PathKind::Snic1, Verb::Read, 4096);
+        assert!(large > small);
+    }
+}

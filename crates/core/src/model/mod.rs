@@ -1,0 +1,16 @@
+//! Analytic performance models distilled from the measurement study.
+//!
+//! Three models, each cross-validated against the simulator:
+//!
+//! * [`packets::PacketModel`] — Table 3: PCIe packets per path;
+//! * [`bottleneck::BottleneckModel`] — per-path bandwidth ceilings and
+//!   the §4 concurrency/budget rules;
+//! * [`latency::LatencyModel`] — hop-sum small-request latency.
+
+pub mod bottleneck;
+pub mod latency;
+pub mod packets;
+
+pub use bottleneck::BottleneckModel;
+pub use latency::LatencyModel;
+pub use packets::{PacketCounts, PacketModel};

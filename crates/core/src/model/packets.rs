@@ -1,0 +1,184 @@
+//! The paper's Table 3 as an analytic model: PCIe data packets required to
+//! move `N` payload bytes over each communication path.
+//!
+//! The model counts data-bearing TLPs only (the paper's "simplified model
+//! omits control path packets"), segmented at the PCIe MTU of the memory
+//! endpoint behind each hop: `H_MTU` = 512 B towards the host, `S_MTU` =
+//! 128 B towards the SoC.
+
+use nicsim::PathKind;
+use pcie_model::tlp::tlp_count;
+
+/// PCIe MTUs of the two endpoints (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketModel {
+    /// Host-endpoint PCIe MTU (512 B on the testbed).
+    pub host_mtu: u64,
+    /// SoC-endpoint PCIe MTU (128 B on the testbed).
+    pub soc_mtu: u64,
+}
+
+/// Per-channel data-TLP counts for one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketCounts {
+    /// TLPs on PCIe1 (NIC cores <-> switch).
+    pub pcie1: u64,
+    /// TLPs on PCIe0 (switch <-> host).
+    pub pcie0: u64,
+    /// TLPs on the switch <-> SoC attach.
+    pub attach: u64,
+}
+
+impl PacketCounts {
+    /// Total data TLPs the SmartNIC's PCIe channels (PCIe1 + PCIe0)
+    /// must process — the quantity the paper's hardware counters observe
+    /// (the SoC attach is not a PCIe channel).
+    pub fn total(&self) -> u64 {
+        self.pcie1 + self.pcie0
+    }
+}
+
+impl Default for PacketModel {
+    fn default() -> Self {
+        PacketModel {
+            host_mtu: 512,
+            soc_mtu: 128,
+        }
+    }
+}
+
+impl PacketModel {
+    /// Builds a model with explicit MTUs (for ablations).
+    pub fn new(host_mtu: u64, soc_mtu: u64) -> Self {
+        PacketModel { host_mtu, soc_mtu }
+    }
+
+    /// Data TLPs to move `bytes` of payload over `path` (Table 3).
+    ///
+    /// Path 3 counts both PCIe1 crossings: the leg touching the SoC is
+    /// segmented at `S_MTU`, the leg touching the host at `H_MTU` —
+    /// reproducing the §3.3 worked example (195 + 49 + 49 Mpps for
+    /// 200 Gbps SoC-to-host traffic).
+    pub fn packets(&self, path: PathKind, bytes: u64) -> PacketCounts {
+        let h = tlp_count(bytes, self.host_mtu);
+        let s = tlp_count(bytes, self.soc_mtu);
+        match path {
+            PathKind::Rnic1 => PacketCounts {
+                pcie0: h,
+                ..Default::default()
+            },
+            PathKind::Snic1 => PacketCounts {
+                pcie1: h,
+                pcie0: h,
+                attach: 0,
+            },
+            PathKind::Snic2 => PacketCounts {
+                pcie1: s,
+                pcie0: 0,
+                attach: s,
+            },
+            PathKind::Snic3S2H | PathKind::Snic3H2S => PacketCounts {
+                pcie1: s + h,
+                pcie0: h,
+                attach: s,
+            },
+        }
+    }
+
+    /// Data TLPs per second the SmartNIC must process to sustain
+    /// `gbps` of payload goodput over `path`, counting PCIe1 and PCIe0
+    /// (the channels the paper's hardware counters observe).
+    pub fn pps_for_goodput_mpps(&self, path: PathKind, gbps: f64) -> f64 {
+        // Packets scale linearly: use a large reference transfer.
+        let reference: u64 = 64 << 20;
+        let c = self.packets(path, reference);
+        let nic_channels = c.pcie1 + c.pcie0;
+        let bytes_per_sec = gbps * 1e9 / 8.0;
+        nic_channels as f64 * bytes_per_sec / reference as f64 / 1e6
+    }
+
+    /// Relative packet amplification of `path` versus `baseline` for
+    /// large transfers (e.g. path 3 is ~6x path 1, §3.3).
+    pub fn amplification_vs(&self, path: PathKind, baseline: PathKind) -> f64 {
+        let n: u64 = 64 << 20;
+        let a = self.packets(path, n);
+        let b = self.packets(baseline, n);
+        (a.pcie1 + a.pcie0) as f64 / (b.pcie1 + b.pcie0) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rows() {
+        let m = PacketModel::default();
+        let n: u64 = 1 << 20;
+        let h = n / 512;
+        let s = n / 128;
+        let p1 = m.packets(PathKind::Snic1, n);
+        assert_eq!((p1.pcie1, p1.pcie0), (h, h));
+        let p2 = m.packets(PathKind::Snic2, n);
+        assert_eq!((p2.pcie1, p2.pcie0), (s, 0));
+        let p3 = m.packets(PathKind::Snic3S2H, n);
+        assert_eq!((p3.pcie1, p3.pcie0), (s + h, h));
+    }
+
+    #[test]
+    fn paper_worked_example_293mpps() {
+        // §3.3: 200 Gbps SoC->host needs >= 195 + 49 + 49 ~ 293 Mpps.
+        let m = PacketModel::default();
+        let pps = m.pps_for_goodput_mpps(PathKind::Snic3S2H, 200.0);
+        assert!((280.0..=300.0).contains(&pps), "pps = {pps:.0} M");
+    }
+
+    #[test]
+    fn snic1_at_191gbps_matches_46_7mpps_per_channel() {
+        // Figure 8(b): 46.7 M PCIe packets/s to the host at 191 Gbps,
+        // counted per channel (PCIe1 and PCIe0 each carry that).
+        let m = PacketModel::default();
+        let pps = m.pps_for_goodput_mpps(PathKind::Snic1, 191.0);
+        assert!((90.0..=96.0).contains(&pps), "two channels: {pps:.1} M");
+        // Per channel: ~46.7 M.
+        assert!((44.0..=48.0).contains(&(pps / 2.0)));
+    }
+
+    #[test]
+    fn snic2_at_190gbps_matches_186mpps() {
+        // Figure 8(b): ~186 M PCIe packets/s to the SoC near line rate.
+        let m = PacketModel::default();
+        let pps = m.pps_for_goodput_mpps(PathKind::Snic2, 190.0);
+        assert!((180.0..=190.0).contains(&pps), "pps = {pps:.0} M");
+    }
+
+    #[test]
+    fn path3_amplification_6x_vs_path1_3x_vs_wait() {
+        // §3.3: path 3 processes 6x the packets of path 1 and 1.5x those
+        // of path 2 for the same goodput.
+        let m = PacketModel::default();
+        let vs1 = m.amplification_vs(PathKind::Snic3S2H, PathKind::Snic1);
+        let vs2 = m.amplification_vs(PathKind::Snic3S2H, PathKind::Snic2);
+        assert!((2.9..=3.1).contains(&vs1), "vs path1 {vs1:.2}");
+        assert!((1.4..=1.6).contains(&vs2), "vs path2 {vs2:.2}");
+        // The paper's "6x" counts path 1's channels once (host side only):
+        let p3 = m.packets(PathKind::Snic3S2H, 1 << 20);
+        let p1 = m.packets(PathKind::Snic1, 1 << 20);
+        let six = p3.total() as f64 / p1.pcie0 as f64;
+        assert!((5.4..=6.6).contains(&six), "6x claim: {six:.2}");
+    }
+
+    #[test]
+    fn zero_bytes_zero_packets() {
+        let m = PacketModel::default();
+        assert_eq!(m.packets(PathKind::Snic1, 0).total(), 0);
+    }
+
+    #[test]
+    fn custom_mtus() {
+        // Ablation: a 256 B SoC MTU halves path-2 packets.
+        let m = PacketModel::new(512, 256);
+        let p = m.packets(PathKind::Snic2, 1 << 20);
+        assert_eq!(p.pcie1, (1 << 20) / 256);
+    }
+}

@@ -1,0 +1,228 @@
+//! Calibration pins: every *specific number* the paper quotes, asserted
+//! against the simulator (with bands documented in EXPERIMENTS.md).
+//!
+//! These tests are the contract that keeps the model honest: if a
+//! refactor shifts a mechanism, the corresponding paper number drifts
+//! and the pin trips.
+
+use nicsim::{PathKind, Verb};
+use simnet::time::Nanos;
+use snic_core::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
+use snic_core::model::PacketModel;
+use topology::{NicSpec, SmartNicSpec};
+
+fn quick() -> Scenario {
+    Scenario {
+        warmup: Nanos::from_micros(100),
+        duration: Nanos::from_micros(700),
+        ..Scenario::default()
+    }
+}
+
+/// §2.1: "saturating a 24-core server can only achieve 87 Mpps ... NIC
+/// cores can process more than 195 Mpps".
+#[test]
+fn pin_host_87mpps_nic_195mpps() {
+    let sc = Scenario {
+        server: ServerKind::Rnic,
+        ..quick()
+    };
+    let two_sided = run_scenario(
+        &sc,
+        &[StreamSpec::new(PathKind::Rnic1, Verb::Send, 32, 11).with_window(12)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    assert!(
+        (75.0..=95.0).contains(&two_sided),
+        "two-sided {two_sided:.0}"
+    );
+    assert!(NicSpec::connectx6().peak_request_rate_mops() > 195.0);
+}
+
+/// §3.1: SNIC(1) latency tax 15-30% (READ), 15-21% (WRITE), 6-9% (SEND);
+/// READ's absolute increase larger than WRITE's (0.6 vs 0.4 us in the
+/// paper; the crossing count is the mechanism).
+#[test]
+fn pin_section31_latency_taxes() {
+    let lat = |path, verb| {
+        snic_core::harness::measure_latency(path, verb, 64)
+            .latency
+            .p50
+            .as_nanos() as f64
+    };
+    let read_tax = lat(PathKind::Snic1, Verb::Read) / lat(PathKind::Rnic1, Verb::Read) - 1.0;
+    let write_tax = lat(PathKind::Snic1, Verb::Write) / lat(PathKind::Rnic1, Verb::Write) - 1.0;
+    let send_tax = lat(PathKind::Snic1, Verb::Send) / lat(PathKind::Rnic1, Verb::Send) - 1.0;
+    assert!((0.08..=0.35).contains(&read_tax), "READ tax {read_tax:.3}");
+    assert!(
+        (0.04..=0.25).contains(&write_tax),
+        "WRITE tax {write_tax:.3}"
+    );
+    assert!((0.00..=0.15).contains(&send_tax), "SEND tax {send_tax:.3}");
+    assert!(read_tax > write_tax, "READ crosses PCIe twice, WRITE once");
+    assert!(write_tax > send_tax, "SEND tax is CPU-diluted");
+}
+
+/// §3.2: SNIC(2) READ throughput 1.08-1.48x SNIC(1) for small payloads.
+#[test]
+fn pin_section32_soc_read_gain() {
+    for payload in [64u64, 128] {
+        let s1 = run_scenario(
+            &quick(),
+            &[StreamSpec::new(PathKind::Snic1, Verb::Read, payload, 11)],
+        )
+        .streams[0]
+            .ops
+            .as_mops();
+        let s2 = run_scenario(
+            &quick(),
+            &[StreamSpec::new(PathKind::Snic2, Verb::Read, payload, 11)],
+        )
+        .streams[0]
+            .ops
+            .as_mops();
+        let gain = s2 / s1;
+        assert!((1.05..=1.60).contains(&gain), "{payload}B gain {gain:.2}");
+    }
+}
+
+/// §3.2 WRITE ordering: RNIC(1) > SNIC(2) > SNIC(1) at small payloads
+/// ("SNIC(2) is still lower than RNIC(1)" but beats SNIC(1)).
+#[test]
+fn pin_section32_write_ordering() {
+    let t = |path| {
+        let sc = Scenario {
+            server: if path == PathKind::Rnic1 {
+                ServerKind::Rnic
+            } else {
+                ServerKind::Bluefield
+            },
+            ..quick()
+        };
+        run_scenario(&sc, &[StreamSpec::new(path, Verb::Write, 64, 11)]).streams[0]
+            .ops
+            .as_mops()
+    };
+    let rnic = t(PathKind::Rnic1);
+    let s1 = t(PathKind::Snic1);
+    let s2 = t(PathKind::Snic2);
+    assert!(s2 < rnic, "WRITE: SNIC2 {s2:.0} !< RNIC {rnic:.0}");
+    assert!(s2 > s1, "WRITE: SNIC2 {s2:.0} !> SNIC1 {s1:.0}");
+}
+
+/// Figure 7 absolute pins: SoC WRITE ~22.7 M/s and READ ~50 M/s at the
+/// 1.5 KB range.
+#[test]
+fn pin_fig7_narrow_rates() {
+    let wr = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic2, Verb::Write, 64, 11).with_range(1536)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    let rd = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic2, Verb::Read, 64, 11).with_range(1536)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    assert!(
+        (15.0..=32.0).contains(&wr),
+        "narrow WRITE {wr:.1} (paper 22.7)"
+    );
+    assert!(
+        (35.0..=65.0).contains(&rd),
+        "narrow READ {rd:.1} (paper 50)"
+    );
+    assert!(rd > wr, "reads degrade less than writes");
+}
+
+/// Figure 8 pin: the SoC READ collapse threshold sits at 9 MB.
+#[test]
+fn pin_fig8_9mb_threshold() {
+    let s = SmartNicSpec::bluefield2();
+    assert_eq!(s.nic.reorder_tlp_slots * s.soc.pcie_mtu, 9 << 20);
+}
+
+/// §3.3 pin: moving 200 Gbps SoC-to-host costs ~293 Mpps of data TLPs
+/// (195 + 49 + 49).
+#[test]
+fn pin_section33_packet_tax() {
+    let pps = PacketModel::default().pps_for_goodput_mpps(PathKind::Snic3S2H, 200.0);
+    assert!((285.0..=300.0).contains(&pps), "{pps:.0} Mpps");
+}
+
+/// §3.3 pin: requester-bound small-request rates — S2H ~29 M/s and H2S
+/// ~51.2 M/s for READs.
+#[test]
+fn pin_section33_requester_bounds() {
+    let s2h = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic3S2H, Verb::Read, 64, 1)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    let h2s = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic3H2S, Verb::Read, 64, 1)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    assert!((20.0..=40.0).contains(&s2h), "S2H {s2h:.1} (paper 29)");
+    assert!((40.0..=65.0).contains(&h2s), "H2S {h2s:.1} (paper 51.2)");
+    assert!(h2s > s2h, "the SoC is the weaker requester");
+}
+
+/// §4 pin: one path alone ~176 M reqs/s of 0 B requests; both endpoints
+/// together ~195 M (4-13% gain); standalone sum ~352 M.
+#[test]
+fn pin_section4_pu_sharing() {
+    let single = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic1, Verb::Read, 0, 11).with_window(16)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    assert!((150.0..=195.0).contains(&single), "single path {single:.0}");
+
+    let mut a = StreamSpec::new(PathKind::Snic1, Verb::Read, 0, 5).with_window(16);
+    a.clients = (0..5).collect();
+    let mut b = StreamSpec::new(PathKind::Snic2, Verb::Read, 0, 5).with_window(16);
+    b.clients = (5..10).collect();
+    let both = run_scenario(&quick(), &[a, b]).total_ops().as_mops();
+    let gain = both / single - 1.0;
+    assert!((0.02..=0.20).contains(&gain), "concurrent gain {gain:.3}");
+}
+
+/// §4 pin: the testbed budget P - N ~ 56 Gbps (ours: 52, post-encoding).
+#[test]
+fn pin_section4_budget() {
+    let b = snic_core::model::BottleneckModel::bluefield2()
+        .path3_budget()
+        .as_gbps();
+    assert!((45.0..=60.0).contains(&b), "budget {b:.1}");
+}
+
+/// Figure 10 pin: host-side DB loses ~9/7/6% at batches 16/32/48.
+#[test]
+fn pin_fig10_host_db_regression() {
+    use rdma_sim::{PostCostModel, PosterKind};
+    let m = PostCostModel::new(
+        &topology::MachineSpec::srv_with_bluefield(),
+        PosterKind::HostCpu,
+    );
+    for (batch, paper_loss) in [(16u32, 0.09), (32, 0.07), (48, 0.06)] {
+        let loss = 1.0 - m.db_speedup(batch);
+        assert!(
+            (loss - paper_loss).abs() < 0.06,
+            "batch {batch}: loss {loss:.3} vs paper {paper_loss}"
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! A flat, RDMA-friendly hash index.
+//!
+//! The index the paper's Figure 1 sketch implies: a bucket array laid out
+//! contiguously in registered memory so a *remote* client can probe it
+//! with one-sided READs — bucket `i` lives at `base + i * BUCKET_BYTES`,
+//! and collision handling is linear probing over whole buckets, so a
+//! lookup needs `1 + overflow_hops` READs before the final value READ.
+//! This is exactly the "network amplification" of one-sided designs
+//! (§2.1): each extra probe is another network round trip.
+
+/// Slots per bucket (a bucket is one cache line / one READ).
+pub const SLOTS_PER_BUCKET: usize = 4;
+/// Bytes a bucket occupies in registered memory (key + addr + len per
+/// slot, padded to a 64 B line).
+pub const BUCKET_BYTES: u64 = 64;
+
+/// One index entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The key.
+    pub key: u64,
+    /// Address of the value in the value region.
+    pub value_addr: u64,
+    /// Value length in bytes.
+    pub value_len: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    slots: Vec<Entry>, // <= SLOTS_PER_BUCKET
+}
+
+/// Outcome of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// The found entry.
+    pub entry: Entry,
+    /// Number of bucket probes a remote reader performs (>= 1).
+    pub probes: u32,
+}
+
+/// Errors from index operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexError {
+    /// The table is too full to place the key within the probe bound.
+    Full,
+    /// The key is not present.
+    NotFound,
+}
+
+impl core::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IndexError::Full => write!(f, "index full (probe bound exceeded)"),
+            IndexError::NotFound => write!(f, "key not found"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// The hash index.
+///
+/// # Examples
+///
+/// ```
+/// use snic_kvstore::index::HashIndex;
+///
+/// let mut idx = HashIndex::new(1024, 0x1000);
+/// idx.insert(42, 0xdead_0000, 512).unwrap();
+/// let l = idx.lookup(42).unwrap();
+/// assert_eq!(l.entry.value_addr, 0xdead_0000);
+/// assert!(l.probes >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    buckets: Vec<Bucket>,
+    base_addr: u64,
+    max_probes: u32,
+    entries: u64,
+}
+
+impl HashIndex {
+    /// Creates an index with `n_buckets` buckets whose bucket array is
+    /// registered at `base_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_buckets == 0`.
+    pub fn new(n_buckets: usize, base_addr: u64) -> Self {
+        assert!(n_buckets > 0, "index needs at least one bucket");
+        HashIndex {
+            buckets: vec![Bucket::default(); n_buckets],
+            base_addr,
+            max_probes: 64,
+            entries: 0,
+        }
+    }
+
+    fn hash(&self, key: u64) -> usize {
+        // MurmurHash3 finalizer: full avalanche, so consecutive keys
+        // collide like random ones (a pure multiplicative hash would map
+        // consecutive keys with low discrepancy and hide collisions).
+        let mut h = key;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^= h >> 33;
+        (h % self.buckets.len() as u64) as usize
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Sets the probe bound (inserts beyond it fail with
+    /// [`IndexError::Full`]).
+    pub fn with_max_probes(mut self, bound: u32) -> Self {
+        self.max_probes = bound.max(1);
+        self
+    }
+
+    /// The registered address of bucket `i`.
+    pub fn bucket_addr(&self, i: usize) -> u64 {
+        self.base_addr + i as u64 * BUCKET_BYTES
+    }
+
+    /// Total registered bytes of the bucket array.
+    pub fn region_len(&self) -> u64 {
+        self.buckets.len() as u64 * BUCKET_BYTES
+    }
+
+    /// Inserts or updates a key.
+    pub fn insert(&mut self, key: u64, value_addr: u64, value_len: u32) -> Result<(), IndexError> {
+        let start = self.hash(key);
+        let n = self.buckets.len();
+        for hop in 0..self.max_probes as usize {
+            let bi = (start + hop) % n;
+            let bucket = &mut self.buckets[bi];
+            if let Some(slot) = bucket.slots.iter_mut().find(|e| e.key == key) {
+                slot.value_addr = value_addr;
+                slot.value_len = value_len;
+                return Ok(());
+            }
+            if bucket.slots.len() < SLOTS_PER_BUCKET {
+                bucket.slots.push(Entry {
+                    key,
+                    value_addr,
+                    value_len,
+                });
+                self.entries += 1;
+                return Ok(());
+            }
+        }
+        Err(IndexError::Full)
+    }
+
+    /// Looks up a key, reporting how many bucket probes a remote reader
+    /// would issue.
+    pub fn lookup(&self, key: u64) -> Result<Lookup, IndexError> {
+        let start = self.hash(key);
+        let n = self.buckets.len();
+        for hop in 0..self.max_probes as usize {
+            let bi = (start + hop) % n;
+            let bucket = &self.buckets[bi];
+            if let Some(e) = bucket.slots.iter().find(|e| e.key == key) {
+                return Ok(Lookup {
+                    entry: *e,
+                    probes: hop as u32 + 1,
+                });
+            }
+            if bucket.slots.len() < SLOTS_PER_BUCKET {
+                // An unfull bucket terminates the probe chain.
+                return Err(IndexError::NotFound);
+            }
+        }
+        Err(IndexError::NotFound)
+    }
+
+    /// Removes a key. Returns the removed entry.
+    ///
+    /// Removal leaves a tombstone-free table by back-shifting within the
+    /// bucket only; probe chains through full buckets remain valid
+    /// because lookups scan `max_probes` hops before giving up if every
+    /// visited bucket stays full.
+    pub fn remove(&mut self, key: u64) -> Result<Entry, IndexError> {
+        let start = self.hash(key);
+        let n = self.buckets.len();
+        for hop in 0..self.max_probes as usize {
+            let bi = (start + hop) % n;
+            let bucket = &mut self.buckets[bi];
+            if let Some(pos) = bucket.slots.iter().position(|e| e.key == key) {
+                let e = bucket.slots.remove(pos);
+                self.entries -= 1;
+                return Ok(e);
+            }
+        }
+        Err(IndexError::NotFound)
+    }
+
+    /// Mean probes per present key (load-dependent amplification).
+    pub fn mean_probes(&self) -> f64 {
+        if self.entries == 0 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for b in &self.buckets {
+            for e in &b.slots {
+                if let Ok(l) = self.lookup(e.key) {
+                    total += l.probes as u64;
+                    count += 1;
+                }
+            }
+        }
+        total as f64 / count.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut idx = HashIndex::new(256, 0);
+        for k in 0..500u64 {
+            idx.insert(k, k * 100, 64).unwrap();
+        }
+        assert_eq!(idx.len(), 500);
+        for k in 0..500u64 {
+            let l = idx.lookup(k).unwrap();
+            assert_eq!(l.entry.value_addr, k * 100);
+            assert_eq!(l.entry.value_len, 64);
+        }
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut idx = HashIndex::new(64, 0);
+        idx.insert(7, 100, 10).unwrap();
+        idx.insert(7, 200, 20).unwrap();
+        assert_eq!(idx.len(), 1);
+        let l = idx.lookup(7).unwrap();
+        assert_eq!((l.entry.value_addr, l.entry.value_len), (200, 20));
+    }
+
+    #[test]
+    fn missing_key() {
+        let mut idx = HashIndex::new(64, 0);
+        idx.insert(1, 1, 1).unwrap();
+        assert_eq!(idx.lookup(2), Err(IndexError::NotFound));
+    }
+
+    #[test]
+    fn collisions_raise_probe_count() {
+        // Load a small table heavily; some keys must need > 1 probe.
+        let mut idx = HashIndex::new(32, 0);
+        for k in 0..100u64 {
+            idx.insert(k, k, 8).unwrap();
+        }
+        let mean = idx.mean_probes();
+        assert!(mean > 1.0, "mean probes {mean}");
+        // All keys still found.
+        for k in 0..100u64 {
+            idx.lookup(k).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_table_rejects() {
+        let mut idx = HashIndex::new(1, 0);
+        for k in 0..SLOTS_PER_BUCKET as u64 {
+            idx.insert(k, k, 8).unwrap();
+        }
+        assert_eq!(idx.insert(99, 0, 8), Err(IndexError::Full));
+    }
+
+    #[test]
+    fn remove_then_lookup_fails() {
+        let mut idx = HashIndex::new(64, 0);
+        idx.insert(5, 50, 8).unwrap();
+        let e = idx.remove(5).unwrap();
+        assert_eq!(e.value_addr, 50);
+        assert_eq!(idx.lookup(5), Err(IndexError::NotFound));
+        assert_eq!(idx.remove(5), Err(IndexError::NotFound));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn bucket_addresses_are_line_aligned() {
+        let idx = HashIndex::new(16, 0x10000);
+        for i in 0..16 {
+            assert_eq!(idx.bucket_addr(i) % 64, 0);
+        }
+        assert_eq!(idx.region_len(), 16 * 64);
+    }
+
+    #[test]
+    fn low_load_is_single_probe() {
+        let mut idx = HashIndex::new(4096, 0);
+        for k in 0..100u64 {
+            idx.insert(k, k, 8).unwrap();
+        }
+        let mean = idx.mean_probes();
+        assert!(mean < 1.05, "mean probes {mean}");
+    }
+}

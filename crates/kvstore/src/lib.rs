@@ -1,0 +1,29 @@
+//! `snic-kvstore` — the distributed in-memory key-value store of the
+//! paper's Figure 1, built on the simulated RDMA fabric.
+//!
+//! Demonstrates the motivating trade-off of off-path SmartNICs:
+//!
+//! * one-sided designs avoid server CPU but suffer *network
+//!   amplification* (one round trip per index probe plus the value
+//!   fetch, Figure 1(a));
+//! * offloading the index to the SmartNIC SoC collapses a `get` to a
+//!   single network round trip, with the SoC pulling the value from
+//!   host memory over path 3 (Figure 1(b)) — subject to all the path-3
+//!   guidelines the study derives.
+//!
+//! The store is real: a flat RDMA-readable [`index::HashIndex`] with
+//! collision chains, a bump-allocated value region, and four pluggable
+//! designs in [`store::KvStore`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod store;
+pub mod workload;
+pub mod ycsb;
+
+pub use index::{Entry, HashIndex, IndexError, Lookup};
+pub use store::{Design, GetResult, KvConfig, KvError, KvStore};
+pub use workload::{fig1_table, run_gets, KeyDist, KvRunStats};
+pub use ycsb::{run_mix, ycsb_table, Mix, YcsbStats};

@@ -1,0 +1,447 @@
+//! The distributed in-memory key-value store of Figure 1, in three
+//! designs over the simulated fabric.
+//!
+//! * [`Design::OneSidedRnic`] / [`Design::OneSidedSnic`] — Figure 1(a):
+//!   the client resolves a `get` entirely with one-sided READs: one READ
+//!   per index probe, then one READ for the value. Every probe is a
+//!   network round trip (*network amplification*).
+//! * [`Design::SocIndex`] — Figure 1(b): the index lives in SoC memory;
+//!   the client sends one request, the SoC looks up locally and fetches
+//!   the value from host memory over path 3, replying in a single
+//!   network round trip.
+//! * [`Design::HostRpc`] — the conventional two-sided design: the host
+//!   CPU handles the request (no amplification, but burns host cores).
+
+use nicsim::fabric::RpcOp;
+use nicsim::{Endpoint, Fabric, PathKind};
+use rdma_sim::verbs::{Context, Cq, Mr, Qp, QpType};
+use simnet::time::Nanos;
+
+use crate::index::{HashIndex, IndexError, BUCKET_BYTES};
+
+/// Which acceleration design serves `get`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// One-sided READs against a plain RNIC.
+    OneSidedRnic,
+    /// One-sided READs against the SmartNIC's host path.
+    OneSidedSnic,
+    /// Index offloaded to the SoC; values stay in host memory.
+    SocIndex,
+    /// Two-sided RPC handled by host CPU cores.
+    HostRpc,
+}
+
+impl Design {
+    /// All designs, in comparison order.
+    pub const ALL: [Design; 4] = [
+        Design::OneSidedRnic,
+        Design::OneSidedSnic,
+        Design::SocIndex,
+        Design::HostRpc,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::OneSidedRnic => "one-sided RNIC",
+            Design::OneSidedSnic => "one-sided SNIC(1)",
+            Design::SocIndex => "SoC-offloaded index",
+            Design::HostRpc => "two-sided host RPC",
+        }
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KvConfig {
+    /// Number of keys preloaded.
+    pub n_keys: u64,
+    /// Value size in bytes.
+    pub value_size: u32,
+    /// Index buckets (controls probe amplification).
+    pub index_buckets: usize,
+    /// Client machines available.
+    pub n_clients: usize,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            n_keys: 100_000,
+            value_size: 256,
+            index_buckets: 64 << 10,
+            n_clients: 2,
+        }
+    }
+}
+
+/// Outcome of one `get`.
+#[derive(Debug, Clone, Copy)]
+pub struct GetResult {
+    /// Completion instant.
+    pub completed: Nanos,
+    /// End-to-end latency.
+    pub latency: Nanos,
+    /// Network round trips consumed.
+    pub network_trips: u32,
+    /// Value length returned.
+    pub value_len: u32,
+}
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum KvError {
+    /// Key missing.
+    NotFound,
+    /// Index rejected an insert.
+    Index(IndexError),
+    /// Verbs-layer failure.
+    Rdma(rdma_sim::verbs::RdmaError),
+}
+
+impl From<IndexError> for KvError {
+    fn from(e: IndexError) -> Self {
+        if e == IndexError::NotFound {
+            KvError::NotFound
+        } else {
+            KvError::Index(e)
+        }
+    }
+}
+
+impl From<rdma_sim::verbs::RdmaError> for KvError {
+    fn from(e: rdma_sim::verbs::RdmaError) -> Self {
+        KvError::Rdma(e)
+    }
+}
+
+impl core::fmt::Display for KvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KvError::NotFound => write!(f, "key not found"),
+            KvError::Index(e) => write!(f, "index error: {e}"),
+            KvError::Rdma(e) => write!(f, "rdma error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Base address of the value region in host memory.
+const VALUES_BASE: u64 = 1 << 32;
+/// Base address of the index region (host or SoC memory by design).
+const INDEX_BASE: u64 = 1 << 28;
+/// Request/response header bytes for RPC designs.
+const REQ_BYTES: u64 = 32;
+
+/// A deployed key-value store.
+pub struct KvStore {
+    design: Design,
+    ctx: Context,
+    index: HashIndex,
+    index_mr: Mr,
+    value_mr: Mr,
+    qp: Qp,
+    cq: Cq,
+    value_size: u32,
+    next_value: u64,
+}
+
+impl KvStore {
+    /// Deploys a store with `design` and preloads `cfg.n_keys` keys.
+    pub fn new(design: Design, cfg: KvConfig) -> Self {
+        let fabric = match design {
+            Design::OneSidedRnic => Fabric::rnic_testbed(cfg.n_clients),
+            _ => Fabric::bluefield_testbed(cfg.n_clients),
+        };
+        let ctx = Context::new(fabric);
+        let pd = ctx.alloc_pd();
+        let index_ep = match design {
+            Design::SocIndex => Endpoint::Soc,
+            _ => Endpoint::Host,
+        };
+        let path = match design {
+            Design::OneSidedRnic => PathKind::Rnic1,
+            Design::OneSidedSnic | Design::HostRpc => PathKind::Snic1,
+            Design::SocIndex => PathKind::Snic2,
+        };
+        let index = HashIndex::new(cfg.index_buckets, INDEX_BASE);
+        let index_mr = pd.register_mr(index_ep, INDEX_BASE, index.region_len());
+        let value_mr = pd.register_mr(
+            Endpoint::Host,
+            VALUES_BASE,
+            cfg.n_keys * cfg.value_size as u64 * 2,
+        );
+        let cq = pd.create_cq();
+        let qp_type = match design {
+            Design::SocIndex | Design::HostRpc => QpType::Ud,
+            _ => QpType::Rc,
+        };
+        let qp = pd.create_qp(qp_type, path, 0, &cq);
+        let mut store = KvStore {
+            design,
+            ctx,
+            index,
+            index_mr,
+            value_mr,
+            qp,
+            cq,
+            value_size: cfg.value_size,
+            next_value: 0,
+        };
+        for k in 0..cfg.n_keys {
+            store
+                .load(k)
+                .expect("preload must fit the configured index");
+        }
+        store
+    }
+
+    /// The design this store runs.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.index.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Mean index-probe amplification at current load.
+    pub fn mean_probes(&self) -> f64 {
+        self.index.mean_probes()
+    }
+
+    /// Loads a key during preload (no simulated time consumed; the paper
+    /// measures steady-state gets).
+    fn load(&mut self, key: u64) -> Result<(), KvError> {
+        let addr = VALUES_BASE + self.next_value;
+        self.next_value += self.value_size as u64;
+        self.index.insert(key, addr, self.value_size)?;
+        Ok(())
+    }
+
+    /// Inserts or updates a key at simulated time `now` (write path:
+    /// always an RPC to the host, which owns the value region).
+    pub fn put(&mut self, now: Nanos, key: u64) -> Result<GetResult, KvError> {
+        let addr = VALUES_BASE + self.next_value;
+        self.next_value += self.value_size as u64;
+        self.index.insert(key, addr, self.value_size)?;
+        let op = RpcOp {
+            path: match self.design {
+                Design::OneSidedRnic => PathKind::Rnic1,
+                Design::SocIndex => PathKind::Snic2,
+                _ => PathKind::Snic1,
+            },
+            client: 0,
+            request_bytes: REQ_BYTES + self.value_size as u64,
+            response_bytes: REQ_BYTES,
+            handler_extra: Nanos::new(120),
+            fetch_other_endpoint: None,
+        };
+        let c = self.ctx.fabric().borrow_mut().execute_rpc(now, op);
+        Ok(GetResult {
+            completed: c.completed,
+            latency: c.latency(),
+            network_trips: 1,
+            value_len: 0,
+        })
+    }
+
+    /// Serves a `get` issued at simulated time `now`.
+    pub fn get(&mut self, now: Nanos, key: u64) -> Result<GetResult, KvError> {
+        match self.design {
+            Design::OneSidedRnic | Design::OneSidedSnic => self.get_one_sided(now, key),
+            Design::SocIndex => self.get_soc_offload(now, key),
+            Design::HostRpc => self.get_host_rpc(now, key),
+        }
+    }
+
+    /// Figure 1(a): probe READs then a value READ, chained.
+    fn get_one_sided(&mut self, now: Nanos, key: u64) -> Result<GetResult, KvError> {
+        let lookup = self.index.lookup(key)?;
+        let mut t = now;
+        // One READ per index probe (each must complete before the client
+        // knows where to look next).
+        let start_bucket = lookup.probes as u64 - 1; // offset of final probe
+        let _ = start_bucket;
+        for p in 0..lookup.probes {
+            self.qp
+                .post_read(t, &self.index_mr, p as u64 * BUCKET_BYTES, BUCKET_BYTES)?;
+            t = self.drain_one();
+        }
+        // Value READ at the address the index returned.
+        self.qp.post_read(
+            t,
+            &self.value_mr,
+            lookup.entry.value_addr - VALUES_BASE,
+            lookup.entry.value_len as u64,
+        )?;
+        let done = self.drain_one();
+        Ok(GetResult {
+            completed: done,
+            latency: done - now,
+            network_trips: lookup.probes + 1,
+            value_len: lookup.entry.value_len,
+        })
+    }
+
+    /// Figure 1(b): one RPC; the SoC probes its local index (cheap) and
+    /// pulls the value from host memory over path 3.
+    fn get_soc_offload(&mut self, now: Nanos, key: u64) -> Result<GetResult, KvError> {
+        let lookup = self.index.lookup(key)?;
+        // Local probe cost on the wimpy cores: ~60 ns per bucket.
+        let lookup_cost = Nanos::new(60) * lookup.probes as u64;
+        let op = RpcOp {
+            path: PathKind::Snic2,
+            client: 0,
+            request_bytes: REQ_BYTES,
+            response_bytes: lookup.entry.value_len as u64,
+            handler_extra: lookup_cost,
+            fetch_other_endpoint: Some(lookup.entry.value_len as u64),
+        };
+        let c = self.ctx.fabric().borrow_mut().execute_rpc(now, op);
+        Ok(GetResult {
+            completed: c.completed,
+            latency: c.latency(),
+            network_trips: 1,
+            value_len: lookup.entry.value_len,
+        })
+    }
+
+    /// Conventional two-sided design: host CPU does everything.
+    fn get_host_rpc(&mut self, now: Nanos, key: u64) -> Result<GetResult, KvError> {
+        let lookup = self.index.lookup(key)?;
+        let lookup_cost = Nanos::new(25) * lookup.probes as u64;
+        let op = RpcOp {
+            path: PathKind::Snic1,
+            client: 0,
+            request_bytes: REQ_BYTES,
+            response_bytes: lookup.entry.value_len as u64,
+            handler_extra: lookup_cost,
+            fetch_other_endpoint: None,
+        };
+        let c = self.ctx.fabric().borrow_mut().execute_rpc(now, op);
+        Ok(GetResult {
+            completed: c.completed,
+            latency: c.latency(),
+            network_trips: 1,
+            value_len: lookup.entry.value_len,
+        })
+    }
+
+    fn drain_one(&mut self) -> Nanos {
+        let t = self
+            .cq
+            .next_event_time()
+            .expect("a posted read must complete");
+        let wcs = self.cq.poll(t);
+        wcs.last().expect("polled at event time").completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> KvConfig {
+        KvConfig {
+            n_keys: 2000,
+            value_size: 256,
+            index_buckets: 1024,
+            n_clients: 2,
+        }
+    }
+
+    #[test]
+    fn gets_return_values_on_all_designs() {
+        for d in Design::ALL {
+            let mut kv = KvStore::new(d, small_cfg());
+            let r = kv.get(Nanos::ZERO, 17).unwrap();
+            assert_eq!(r.value_len, 256, "{d:?}");
+            assert!(r.latency > Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let mut kv = KvStore::new(Design::HostRpc, small_cfg());
+        assert!(matches!(
+            kv.get(Nanos::ZERO, 999_999),
+            Err(KvError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn one_sided_amplification_counts_trips() {
+        // Load the index to force multi-probe chains.
+        let cfg = KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            ..small_cfg()
+        };
+        let mut kv = KvStore::new(Design::OneSidedSnic, cfg);
+        assert!(kv.mean_probes() > 1.05, "probes {}", kv.mean_probes());
+        // Late-inserted keys hit the collision chains (early keys landed
+        // in empty home buckets during preload).
+        let mut max_trips = 0;
+        for (i, k) in (3300..3500u64).enumerate() {
+            let r = kv.get(Nanos::from_micros(i as u64 * 50), k).unwrap();
+            max_trips = max_trips.max(r.network_trips);
+        }
+        assert!(max_trips >= 3, "no amplified get observed: {max_trips}");
+    }
+
+    #[test]
+    fn soc_offload_single_round_trip() {
+        let mut kv = KvStore::new(Design::SocIndex, small_cfg());
+        let r = kv.get(Nanos::ZERO, 5).unwrap();
+        assert_eq!(r.network_trips, 1);
+    }
+
+    #[test]
+    fn offload_beats_amplified_one_sided() {
+        // Figure 1: with a loaded index (multi-probe lookups), the
+        // offloaded design's single round trip wins on latency.
+        let cfg = KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            ..small_cfg()
+        };
+        let mut one_sided = KvStore::new(Design::OneSidedSnic, cfg);
+        let mut offload = KvStore::new(Design::SocIndex, cfg);
+        let mut sum_os = 0u64;
+        let mut sum_of = 0u64;
+        // Late keys sit on collision chains and expose the amplification.
+        for (i, k) in (3200..3500u64).enumerate() {
+            let t = Nanos::from_micros(i as u64 * 100);
+            sum_os += one_sided.get(t, k).unwrap().latency.as_nanos();
+            sum_of += offload.get(t, k).unwrap().latency.as_nanos();
+        }
+        assert!(
+            sum_of < sum_os,
+            "offload {sum_of} should beat one-sided {sum_os}"
+        );
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let mut kv = KvStore::new(Design::HostRpc, small_cfg());
+        kv.put(Nanos::ZERO, 1_000_000).unwrap();
+        let r = kv.get(Nanos::from_micros(100), 1_000_000).unwrap();
+        assert_eq!(r.value_len, 256);
+    }
+
+    #[test]
+    fn store_len_matches_preload() {
+        let kv = KvStore::new(Design::HostRpc, small_cfg());
+        assert_eq!(kv.len(), 2000);
+        assert!(!kv.is_empty());
+    }
+}

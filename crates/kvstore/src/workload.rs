@@ -1,0 +1,156 @@
+//! Workload driving and the Figure 1 comparison.
+
+use simnet::rng::{SimRng, Zipf};
+use simnet::stats::Histogram;
+use simnet::time::Nanos;
+use snic_core::report::{fmt_f, Table};
+
+use crate::store::{Design, KvConfig, KvStore};
+
+/// Key-access distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over all keys.
+    Uniform,
+    /// Zipfian with the given exponent (0.99 = YCSB-style skew).
+    Zipf(f64),
+}
+
+/// Measured behaviour of one design under a get workload.
+#[derive(Debug, Clone)]
+pub struct KvRunStats {
+    /// Design measured.
+    pub design: Design,
+    /// Mean get latency.
+    pub mean_latency: Nanos,
+    /// p99 get latency.
+    pub p99_latency: Nanos,
+    /// Mean network round trips per get.
+    pub mean_trips: f64,
+    /// Gets per second for one closed-loop client.
+    pub gets_per_sec: f64,
+}
+
+/// Runs `n_ops` closed-loop gets against a fresh store of `design`.
+pub fn run_gets(design: Design, cfg: KvConfig, n_ops: u64, dist: KeyDist, seed: u64) -> KvRunStats {
+    let mut kv = KvStore::new(design, cfg);
+    let mut rng = SimRng::seed(seed);
+    let zipf = match dist {
+        KeyDist::Zipf(theta) => Some(Zipf::new(cfg.n_keys as usize, theta)),
+        KeyDist::Uniform => None,
+    };
+    let mut hist = Histogram::new();
+    let mut trips = 0u64;
+    let mut now = Nanos::ZERO;
+    for _ in 0..n_ops {
+        let key = match &zipf {
+            Some(z) => z.sample(&mut rng) as u64,
+            None => rng.uniform_u64(cfg.n_keys),
+        };
+        let r = kv.get(now, key).expect("preloaded keys exist");
+        hist.record(r.latency);
+        trips += r.network_trips as u64;
+        now = r.completed;
+    }
+    KvRunStats {
+        design,
+        mean_latency: hist.mean(),
+        p99_latency: hist.percentile(99.0),
+        mean_trips: trips as f64 / n_ops as f64,
+        gets_per_sec: n_ops as f64 / now.as_secs_f64(),
+    }
+}
+
+/// Regenerates the Figure 1 comparison table.
+pub fn fig1_table(quick: bool) -> Table {
+    let cfg = if quick {
+        KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            ..KvConfig::default()
+        }
+    } else {
+        KvConfig {
+            n_keys: 200_000,
+            index_buckets: 64 << 10,
+            ..KvConfig::default()
+        }
+    };
+    let ops = if quick { 400 } else { 5000 };
+    let mut t = Table::new(
+        "Fig 1: KV get designs (loaded index, uniform keys)",
+        &[
+            "design",
+            "mean latency [us]",
+            "p99 [us]",
+            "net round trips",
+            "gets/s (1 client)",
+        ],
+    );
+    for d in Design::ALL {
+        let s = run_gets(d, cfg, ops, KeyDist::Uniform, 7);
+        t.push(vec![
+            d.label().to_string(),
+            fmt_f(s.mean_latency.as_micros_f64()),
+            fmt_f(s.p99_latency.as_micros_f64()),
+            fmt_f(s.mean_trips),
+            fmt_f(s.gets_per_sec),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> KvConfig {
+        KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            value_size: 256,
+            n_clients: 2,
+        }
+    }
+
+    #[test]
+    fn amplified_one_sided_has_more_trips() {
+        let os = run_gets(Design::OneSidedSnic, cfg(), 300, KeyDist::Uniform, 1);
+        let of = run_gets(Design::SocIndex, cfg(), 300, KeyDist::Uniform, 1);
+        assert!(os.mean_trips > 1.5, "one-sided trips {}", os.mean_trips);
+        assert!((of.mean_trips - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offload_wins_mean_latency_under_amplification() {
+        let os = run_gets(Design::OneSidedSnic, cfg(), 300, KeyDist::Uniform, 1);
+        let of = run_gets(Design::SocIndex, cfg(), 300, KeyDist::Uniform, 1);
+        assert!(
+            of.mean_latency < os.mean_latency,
+            "offload {} !< one-sided {}",
+            of.mean_latency,
+            os.mean_latency
+        );
+    }
+
+    #[test]
+    fn zipf_workload_runs() {
+        let s = run_gets(Design::HostRpc, cfg(), 200, KeyDist::Zipf(0.99), 3);
+        assert!(s.gets_per_sec > 0.0);
+        assert!(s.p99_latency >= s.mean_latency);
+    }
+
+    #[test]
+    fn fig1_table_has_all_designs() {
+        let t = fig1_table(true);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_gets(Design::SocIndex, cfg(), 100, KeyDist::Uniform, 5);
+        let b = run_gets(Design::SocIndex, cfg(), 100, KeyDist::Uniform, 5);
+        assert_eq!(a.mean_latency, b.mean_latency);
+        assert_eq!(a.gets_per_sec, b.gets_per_sec);
+    }
+}

@@ -1,0 +1,224 @@
+//! YCSB-style mixed workloads over the KV store.
+//!
+//! The classic cloud-serving benchmark mixes the paper's motivating
+//! application would actually face: workload A (50/50 read/update),
+//! B (95/5), C (read-only), each under uniform or Zipfian key choice.
+//! Running them across the four store designs shows where the SmartNIC
+//! offload pays: read-heavy skewed mixes amplify the one-sided probe
+//! chains, while update-heavy mixes stress the RPC write path equally
+//! for every design.
+
+use simnet::rng::{SimRng, Zipf};
+use simnet::stats::Histogram;
+use simnet::time::Nanos;
+use snic_core::report::{fmt_f, Table};
+
+use crate::store::{Design, KvConfig, KvStore};
+use crate::workload::KeyDist;
+
+/// A standard YCSB mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 50% reads / 50% updates.
+    A,
+    /// 95% reads / 5% updates.
+    B,
+    /// 100% reads.
+    C,
+}
+
+impl Mix {
+    /// Fraction of operations that are reads.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            Mix::A => 0.5,
+            Mix::B => 0.95,
+            Mix::C => 1.0,
+        }
+    }
+
+    /// Label ("A"/"B"/"C").
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::A => "A",
+            Mix::B => "B",
+            Mix::C => "C",
+        }
+    }
+
+    /// All mixes.
+    pub const ALL: [Mix; 3] = [Mix::A, Mix::B, Mix::C];
+}
+
+/// Result of one YCSB run.
+#[derive(Debug, Clone)]
+pub struct YcsbStats {
+    /// Design measured.
+    pub design: Design,
+    /// Mix run.
+    pub mix: Mix,
+    /// Operations per second (single closed-loop client).
+    pub ops_per_sec: f64,
+    /// Mean operation latency.
+    pub mean_latency: Nanos,
+    /// p99 operation latency.
+    pub p99_latency: Nanos,
+    /// Reads performed.
+    pub reads: u64,
+    /// Updates performed.
+    pub updates: u64,
+}
+
+/// Runs `n_ops` of `mix` against a fresh store.
+pub fn run_mix(
+    design: Design,
+    cfg: KvConfig,
+    mix: Mix,
+    n_ops: u64,
+    dist: KeyDist,
+    seed: u64,
+) -> YcsbStats {
+    let mut kv = KvStore::new(design, cfg);
+    let mut rng = SimRng::seed(seed);
+    let zipf = match dist {
+        KeyDist::Zipf(theta) => Some(Zipf::new(cfg.n_keys as usize, theta)),
+        KeyDist::Uniform => None,
+    };
+    let mut hist = Histogram::new();
+    let mut now = Nanos::ZERO;
+    let mut reads = 0;
+    let mut updates = 0;
+    for _ in 0..n_ops {
+        let key = match &zipf {
+            Some(z) => z.sample(&mut rng) as u64,
+            None => rng.uniform_u64(cfg.n_keys),
+        };
+        let r = if rng.uniform_f64() < mix.read_fraction() {
+            reads += 1;
+            kv.get(now, key).expect("preloaded keys exist")
+        } else {
+            updates += 1;
+            kv.put(now, key).expect("update of existing key")
+        };
+        hist.record(r.latency);
+        now = r.completed;
+    }
+    YcsbStats {
+        design,
+        mix,
+        ops_per_sec: n_ops as f64 / now.as_secs_f64(),
+        mean_latency: hist.mean(),
+        p99_latency: hist.percentile(99.0),
+        reads,
+        updates,
+    }
+}
+
+/// Renders the full design x mix comparison.
+pub fn ycsb_table(quick: bool, dist: KeyDist) -> Table {
+    let cfg = if quick {
+        KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            ..KvConfig::default()
+        }
+    } else {
+        KvConfig {
+            n_keys: 100_000,
+            index_buckets: 32 << 10,
+            ..KvConfig::default()
+        }
+    };
+    let n_ops = if quick { 300 } else { 3000 };
+    let dist_label = match dist {
+        KeyDist::Uniform => "uniform".to_string(),
+        KeyDist::Zipf(t) => format!("zipf({t})"),
+    };
+    let mut t = Table::new(
+        format!("YCSB mixes over KV designs ({dist_label} keys)"),
+        &["design", "mix", "ops/s", "mean [us]", "p99 [us]"],
+    );
+    for d in Design::ALL {
+        for m in Mix::ALL {
+            let s = run_mix(d, cfg, m, n_ops, dist, 11);
+            t.push(vec![
+                d.label().to_string(),
+                m.label().to_string(),
+                fmt_f(s.ops_per_sec),
+                fmt_f(s.mean_latency.as_micros_f64()),
+                fmt_f(s.p99_latency.as_micros_f64()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> KvConfig {
+        KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            value_size: 256,
+            n_clients: 2,
+        }
+    }
+
+    #[test]
+    fn mix_fractions() {
+        assert_eq!(Mix::A.read_fraction(), 0.5);
+        assert_eq!(Mix::B.read_fraction(), 0.95);
+        assert_eq!(Mix::C.read_fraction(), 1.0);
+    }
+
+    #[test]
+    fn mix_c_is_read_only() {
+        let s = run_mix(Design::SocIndex, cfg(), Mix::C, 200, KeyDist::Uniform, 1);
+        assert_eq!(s.updates, 0);
+        assert_eq!(s.reads, 200);
+    }
+
+    #[test]
+    fn mix_a_is_balanced() {
+        let s = run_mix(Design::HostRpc, cfg(), Mix::A, 400, KeyDist::Uniform, 1);
+        let frac = s.reads as f64 / 400.0;
+        assert!((0.38..=0.62).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn offload_wins_read_heavy_skewed_mix() {
+        // Zipfian C-mix: hot keys hammer the probe chains of the
+        // one-sided design; the offloaded index stays one-round-trip.
+        let os = run_mix(
+            Design::OneSidedSnic,
+            cfg(),
+            Mix::C,
+            300,
+            KeyDist::Zipf(0.99),
+            5,
+        );
+        let of = run_mix(Design::SocIndex, cfg(), Mix::C, 300, KeyDist::Zipf(0.99), 5);
+        assert!(
+            of.p99_latency < os.p99_latency,
+            "offload p99 {} !< one-sided p99 {}",
+            of.p99_latency,
+            os.p99_latency
+        );
+    }
+
+    #[test]
+    fn table_covers_design_mix_matrix() {
+        let t = ycsb_table(true, KeyDist::Uniform);
+        assert_eq!(t.rows.len(), 4 * 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_mix(Design::HostRpc, cfg(), Mix::B, 150, KeyDist::Zipf(0.9), 3);
+        let b = run_mix(Design::HostRpc, cfg(), Mix::B, 150, KeyDist::Zipf(0.9), 3);
+        assert_eq!(a.ops_per_sec, b.ops_per_sec);
+        assert_eq!(a.reads, b.reads);
+    }
+}

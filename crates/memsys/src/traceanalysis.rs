@@ -1,0 +1,165 @@
+//! Access-trace analysis: quantify how skewed a DMA access pattern is
+//! *before* deploying it against a DDIO-less memory.
+//!
+//! The paper's Advice #1 tells designers to avoid skewed one-sided
+//! accesses against the SoC; this module gives them the measurement:
+//! feed a trace (or a prefix of one), get back the footprint, the bank
+//! spread under a given DRAM mapping, and the predicted throughput
+//! ceiling relative to the full-parallelism plateau.
+
+use std::collections::BTreeMap;
+
+use crate::dram::DramSpec;
+use crate::MemOp;
+
+/// One recorded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Start address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Read or write.
+    pub op: MemOp,
+}
+
+/// A bounded access trace with analysis queries.
+#[derive(Debug, Clone, Default)]
+pub struct AccessTrace {
+    records: Vec<AccessRecord>,
+}
+
+impl AccessTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one access.
+    pub fn record(&mut self, addr: u64, bytes: u64, op: MemOp) {
+        self.records.push(AccessRecord { addr, bytes, op });
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Address footprint: the span between the lowest and highest byte
+    /// touched (the paper's Figure 7 x-axis).
+    pub fn footprint(&self) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        let lo = self
+            .records
+            .iter()
+            .map(|r| r.addr)
+            .min()
+            .expect("non-empty");
+        let hi = self
+            .records
+            .iter()
+            .map(|r| r.addr + r.bytes)
+            .max()
+            .expect("non-empty");
+        hi - lo
+    }
+
+    /// Fraction of accesses that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let w = self.records.iter().filter(|r| r.op == MemOp::Write).count();
+        w as f64 / self.records.len() as f64
+    }
+
+    /// Number of distinct DRAM banks the trace touches under `spec`'s
+    /// address mapping, and the share of accesses on the hottest bank.
+    pub fn bank_spread(&self, spec: &DramSpec) -> (usize, f64) {
+        if self.records.is_empty() {
+            return (0, 0.0);
+        }
+        let mut per_bank: BTreeMap<u64, u64> = BTreeMap::new();
+        for r in &self.records {
+            let row = r.addr / spec.row_bytes;
+            let bank = row % spec.banks_per_channel as u64;
+            *per_bank.entry(bank).or_default() += 1;
+        }
+        let hottest = *per_bank.values().max().expect("non-empty");
+        (per_bank.len(), hottest as f64 / self.records.len() as f64)
+    }
+
+    /// Predicted throughput ceiling (fraction of the full-parallelism
+    /// plateau) when this trace is served by a DDIO-less memory with
+    /// `spec`: the hottest bank serializes, so the ceiling is
+    /// `1 / (hottest_share * banks)` clamped to 1.
+    pub fn skew_ceiling(&self, spec: &DramSpec) -> f64 {
+        let (banks, hottest_share) = self.bank_spread(spec);
+        if banks == 0 {
+            return 1.0;
+        }
+        let parallel = spec.banks_per_channel as f64;
+        (1.0 / (hottest_share * parallel)).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DramSpec {
+        DramSpec::soc_ddr4()
+    }
+
+    #[test]
+    fn footprint_and_counts() {
+        let mut t = AccessTrace::new();
+        t.record(1000, 64, MemOp::Read);
+        t.record(5000, 64, MemOp::Write);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.footprint(), 5064 - 1000);
+        assert!((t.write_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_trace_hits_one_bank() {
+        let mut t = AccessTrace::new();
+        for i in 0..100u64 {
+            t.record((i % 24) * 64, 64, MemOp::Write); // 1.5 KB range
+        }
+        let (banks, hottest) = t.bank_spread(&spec());
+        assert_eq!(banks, 1);
+        assert!((hottest - 1.0).abs() < 1e-12);
+        // Ceiling = 1/16 of the plateau: the Figure 7 collapse.
+        let ceiling = t.skew_ceiling(&spec());
+        assert!((ceiling - 1.0 / 16.0).abs() < 1e-9, "{ceiling}");
+    }
+
+    #[test]
+    fn wide_trace_uses_all_banks() {
+        let mut t = AccessTrace::new();
+        for i in 0..160u64 {
+            t.record(i * 8192, 64, MemOp::Read); // one access per row
+        }
+        let (banks, hottest) = t.bank_spread(&spec());
+        assert_eq!(banks, 16);
+        assert!(hottest <= 0.08);
+        assert!((t.skew_ceiling(&spec()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_neutral() {
+        let t = AccessTrace::new();
+        assert_eq!(t.footprint(), 0);
+        assert_eq!(t.bank_spread(&spec()), (0, 0.0));
+        assert_eq!(t.skew_ceiling(&spec()), 1.0);
+        assert!(t.is_empty());
+    }
+}

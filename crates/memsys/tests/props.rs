@@ -1,0 +1,73 @@
+//! Property-based tests of the memory-system invariants.
+
+use memsys::{DramSim, DramSpec, LlcSim, LlcSpec, MemOp, MemSystem};
+use proptest::prelude::*;
+use simnet::time::Nanos;
+
+proptest! {
+    /// Every DRAM access completes after it arrives, and a later access
+    /// to the same address never completes before an earlier one.
+    #[test]
+    fn dram_causality(accesses in proptest::collection::vec((0u64..(1 << 24), 1u64..8192), 1..128)) {
+        let mut sim = DramSim::new(DramSpec::soc_ddr4());
+        for &(addr, bytes) in &accesses {
+            let done = sim.access(Nanos::new(1000), addr & !63, bytes, MemOp::Read);
+            prop_assert!(done > Nanos::new(1000));
+        }
+        prop_assert_eq!(sim.accesses(), accesses.len() as u64);
+    }
+
+    /// Writes are never faster than reads at the same address/size (the
+    /// write-recovery penalty, paper refs [12,38]).
+    #[test]
+    fn writes_not_faster_than_reads(addr in 0u64..(1 << 20), bytes in 1u64..4096) {
+        let addr = addr & !63;
+        let mut r = DramSim::new(DramSpec::soc_ddr4());
+        let mut w = DramSim::new(DramSpec::soc_ddr4());
+        let tr = r.access(Nanos::ZERO, addr, bytes, MemOp::Read);
+        let tw = w.access(Nanos::ZERO, addr, bytes, MemOp::Write);
+        prop_assert!(tw >= tr, "write {tw} faster than read {tr}");
+    }
+
+    /// LLC residency: a just-accessed line always probes resident (no
+    /// immediate self-eviction), and hit/miss counts add up.
+    #[test]
+    fn llc_recency(lines in proptest::collection::vec(0u64..4096, 1..256)) {
+        let mut llc = LlcSim::new(LlcSpec::xeon_like());
+        for &l in &lines {
+            llc.access(Nanos::ZERO, l * 64, 64);
+            prop_assert!(llc.probe(l * 64, 64), "line {l} evicted immediately");
+        }
+        prop_assert_eq!(llc.hits() + llc.misses(), lines.len() as u64);
+    }
+
+    /// DDIO toggling never changes correctness, only timing; writes
+    /// through either path complete.
+    #[test]
+    fn ddio_toggle_sound(addrs in proptest::collection::vec(0u64..(1 << 20), 1..64)) {
+        let mut with = MemSystem::host_like();
+        let mut without = MemSystem::host_like();
+        without.set_ddio(false);
+        for &a in &addrs {
+            let t1 = with.dma_access(Nanos::ZERO, a & !63, 64, MemOp::Write);
+            let t2 = without.dma_access(Nanos::ZERO, a & !63, 64, MemOp::Write);
+            prop_assert!(t1 > Nanos::ZERO);
+            prop_assert!(t2 > Nanos::ZERO);
+        }
+    }
+
+    /// Streaming a big block is at least as fast per byte as the same
+    /// bytes issued as separate line accesses (row locality).
+    #[test]
+    fn streaming_beats_scattered(kb in 1u64..256) {
+        let bytes = kb << 10;
+        let mut stream = DramSim::new(DramSpec::soc_ddr4());
+        let t_stream = stream.access(Nanos::ZERO, 0, bytes, MemOp::Read);
+        let mut scattered = DramSim::new(DramSpec::soc_ddr4());
+        let mut t_scatter = Nanos::ZERO;
+        for i in 0..(bytes / 64) {
+            t_scatter = t_scatter.max(scattered.access(Nanos::ZERO, i * 64, 64, MemOp::Read));
+        }
+        prop_assert!(t_stream <= t_scatter, "stream {t_stream} slower than scattered {t_scatter}");
+    }
+}

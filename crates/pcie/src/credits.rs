@@ -1,0 +1,178 @@
+//! PCIe flow-control credits.
+//!
+//! PCIe links are lossless: a transmitter may only send a TLP when the
+//! receiver has advertised buffer credits for it (header + data credits
+//! per TLP class). When a receiver's consumer stalls — e.g. the SoC DRAM
+//! backing up under skewed writes — credits stop returning and the
+//! *link* stalls, which is how memory-side congestion propagates onto
+//! PCIe (the coupling behind Figure 7's write collapse).
+//!
+//! The simulator's fluid pipes capture the steady-state effect; this
+//! module provides the discrete credit accounting for tests, ablations
+//! and anyone building finer-grained models on top.
+
+/// Credits for one TLP class (posted / non-posted / completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditPool {
+    /// Header credits (one per TLP).
+    pub headers: u32,
+    /// Data credits (one per 16 bytes of payload).
+    pub data: u32,
+}
+
+impl CreditPool {
+    /// Data credits needed for a payload.
+    pub fn data_needed(payload_bytes: u64) -> u32 {
+        payload_bytes.div_ceil(16) as u32
+    }
+}
+
+/// Error returned when a send would exceed advertised credits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientCredits {
+    /// Header credits missing.
+    pub headers_short: u32,
+    /// Data credits missing.
+    pub data_short: u32,
+}
+
+/// A credit-managed transmit gate for one TLP class of one link.
+#[derive(Debug, Clone)]
+pub struct CreditGate {
+    limit: CreditPool,
+    in_flight: CreditPool,
+}
+
+impl CreditGate {
+    /// Creates a gate with the receiver's advertised limits.
+    pub fn new(limit: CreditPool) -> Self {
+        CreditGate {
+            limit,
+            in_flight: CreditPool {
+                headers: 0,
+                data: 0,
+            },
+        }
+    }
+
+    /// A typical endpoint advertisement (posted-write class): enough for
+    /// ~32 KB of in-flight data.
+    pub fn typical_endpoint() -> Self {
+        CreditGate::new(CreditPool {
+            headers: 64,
+            data: 2048,
+        })
+    }
+
+    /// Attempts to consume credits for one TLP of `payload_bytes`.
+    pub fn try_send(&mut self, payload_bytes: u64) -> Result<(), InsufficientCredits> {
+        let need_data = CreditPool::data_needed(payload_bytes);
+        let headers_short = (self.in_flight.headers + 1).saturating_sub(self.limit.headers);
+        let data_short = (self.in_flight.data + need_data).saturating_sub(self.limit.data);
+        if headers_short > 0 || data_short > 0 {
+            return Err(InsufficientCredits {
+                headers_short,
+                data_short,
+            });
+        }
+        self.in_flight.headers += 1;
+        self.in_flight.data += need_data;
+        Ok(())
+    }
+
+    /// Returns credits when the receiver drains one TLP of
+    /// `payload_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more credits are returned than were consumed.
+    pub fn release(&mut self, payload_bytes: u64) {
+        let d = CreditPool::data_needed(payload_bytes);
+        assert!(
+            self.in_flight.headers >= 1 && self.in_flight.data >= d,
+            "credit release without matching send"
+        );
+        self.in_flight.headers -= 1;
+        self.in_flight.data -= d;
+    }
+
+    /// Currently consumed credits.
+    pub fn in_flight(&self) -> CreditPool {
+        self.in_flight
+    }
+
+    /// Maximum bytes in flight (data-credit limited).
+    pub fn max_bytes_in_flight(&self) -> u64 {
+        self.limit.data as u64 * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_release_cycle() {
+        let mut g = CreditGate::typical_endpoint();
+        g.try_send(512).unwrap();
+        assert_eq!(g.in_flight().headers, 1);
+        assert_eq!(g.in_flight().data, 32);
+        g.release(512);
+        assert_eq!(g.in_flight().headers, 0);
+        assert_eq!(g.in_flight().data, 0);
+    }
+
+    #[test]
+    fn stalls_when_receiver_does_not_drain() {
+        let mut g = CreditGate::new(CreditPool {
+            headers: 4,
+            data: 128,
+        });
+        // 4 x 512 B exhausts data credits (4 * 32 = 128).
+        for _ in 0..4 {
+            g.try_send(512).unwrap();
+        }
+        let err = g.try_send(512).unwrap_err();
+        assert!(err.headers_short > 0 || err.data_short > 0);
+        // Draining one restores progress.
+        g.release(512);
+        g.try_send(512).unwrap();
+    }
+
+    #[test]
+    fn header_credits_can_gate_small_tlps() {
+        let mut g = CreditGate::new(CreditPool {
+            headers: 2,
+            data: 1000,
+        });
+        g.try_send(0).unwrap();
+        g.try_send(0).unwrap();
+        let err = g.try_send(0).unwrap_err();
+        assert_eq!(err.headers_short, 1);
+        assert_eq!(err.data_short, 0);
+    }
+
+    #[test]
+    fn data_credit_arithmetic() {
+        assert_eq!(CreditPool::data_needed(0), 0);
+        assert_eq!(CreditPool::data_needed(1), 1);
+        assert_eq!(CreditPool::data_needed(16), 1);
+        assert_eq!(CreditPool::data_needed(17), 2);
+        assert_eq!(CreditPool::data_needed(512), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching send")]
+    fn over_release_panics() {
+        CreditGate::typical_endpoint().release(64);
+    }
+
+    #[test]
+    fn capacity_reporting() {
+        let g = CreditGate::new(CreditPool {
+            headers: 8,
+            data: 256,
+        });
+        assert_eq!(g.max_bytes_in_flight(), 4096);
+    }
+}

@@ -1,0 +1,142 @@
+//! PCIe capability negotiation.
+//!
+//! The "PCIe MTU" of Table 3 is not configured by software: it is the
+//! Maximum Payload Size negotiated between the two link partners at
+//! enumeration — each side advertises what its buffers can take and the
+//! link runs at the *minimum*. The Bluefield-2 SoC advertises only 128 B
+//! "due to its lower computing power" (§3.2), which is where the path-2
+//! packet blowup comes from.
+
+/// What one device advertises for a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCaps {
+    /// Maximum Payload Size the device can accept (bytes, power of two).
+    pub max_payload: u64,
+    /// Maximum Read Request Size the device may issue.
+    pub max_read_req: u64,
+}
+
+impl DeviceCaps {
+    /// Creates device capabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two or out-of-range values.
+    pub fn new(max_payload: u64, max_read_req: u64) -> Self {
+        for (name, v) in [("max_payload", max_payload), ("max_read_req", max_read_req)] {
+            assert!(
+                v.is_power_of_two() && (128..=4096).contains(&v),
+                "{name} must be a power of two in [128, 4096], got {v}"
+            );
+        }
+        DeviceCaps {
+            max_payload,
+            max_read_req,
+        }
+    }
+
+    /// A server host root complex (512 B MPS as on the paper's testbed).
+    pub fn host_root_complex() -> Self {
+        DeviceCaps::new(512, 512)
+    }
+
+    /// A ConnectX-class NIC endpoint.
+    pub fn connectx() -> Self {
+        DeviceCaps::new(1024, 512)
+    }
+
+    /// The Bluefield-2 SoC PCIe client (128 B MPS, §3.2 / Table 3).
+    pub fn bluefield2_soc() -> Self {
+        DeviceCaps::new(128, 512)
+    }
+
+    /// A PCIe switch port (does not constrain MPS below its partners on
+    /// this testbed).
+    pub fn switch_port() -> Self {
+        DeviceCaps::new(1024, 4096)
+    }
+}
+
+/// Negotiated link operating parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Negotiated {
+    /// Operating MPS: minimum of both partners.
+    pub mps: u64,
+    /// Operating MRRS of the requesting side (bounded by its own cap).
+    pub mrrs: u64,
+}
+
+/// Negotiates a link between two partners, `requester` being the side
+/// that issues read requests.
+pub fn negotiate(requester: DeviceCaps, completer: DeviceCaps) -> Negotiated {
+    Negotiated {
+        mps: requester.max_payload.min(completer.max_payload),
+        mrrs: requester.max_read_req,
+    }
+}
+
+/// Negotiates the effective end-to-end MPS across a multi-hop path (the
+/// minimum over every traversed port).
+pub fn negotiate_path(devices: &[DeviceCaps]) -> u64 {
+    devices
+        .iter()
+        .map(|d| d.max_payload)
+        .min()
+        .expect("path must have at least one device")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_of_partners() {
+        let n = negotiate(DeviceCaps::connectx(), DeviceCaps::host_root_complex());
+        assert_eq!(n.mps, 512);
+        assert_eq!(n.mrrs, 512);
+    }
+
+    #[test]
+    fn soc_drags_path_to_128() {
+        // NIC -> switch -> SoC: the SoC's 128 B cap rules (Table 3).
+        let mps = negotiate_path(&[
+            DeviceCaps::connectx(),
+            DeviceCaps::switch_port(),
+            DeviceCaps::bluefield2_soc(),
+        ]);
+        assert_eq!(mps, 128);
+    }
+
+    #[test]
+    fn host_path_is_512() {
+        let mps = negotiate_path(&[
+            DeviceCaps::connectx(),
+            DeviceCaps::switch_port(),
+            DeviceCaps::host_root_complex(),
+        ]);
+        assert_eq!(mps, 512);
+    }
+
+    #[test]
+    fn negotiation_matches_topology_presets() {
+        // The hard-coded MTUs in `topology` must agree with negotiation.
+        let soc_path = negotiate_path(&[
+            DeviceCaps::connectx(),
+            DeviceCaps::switch_port(),
+            DeviceCaps::bluefield2_soc(),
+        ]);
+        let host_path = negotiate_path(&[
+            DeviceCaps::connectx(),
+            DeviceCaps::switch_port(),
+            DeviceCaps::host_root_complex(),
+        ]);
+        assert_eq!(soc_path, 128);
+        assert_eq!(host_path, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_caps_rejected() {
+        DeviceCaps::new(300, 512);
+    }
+}

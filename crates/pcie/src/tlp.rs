@@ -1,0 +1,165 @@
+//! TLP segmentation arithmetic — the paper's Table 3 in code.
+//!
+//! Moving `N` payload bytes across a PCIe hop requires `ceil(N / MTU)`
+//! data-bearing TLPs, where the MTU is the Maximum Payload Size negotiated
+//! with the endpoint behind that hop (512 B for the host, 128 B for the
+//! Bluefield-2 SoC). DMA *reads* additionally need read-request TLPs
+//! (segmented by MRRS) and return data as completion TLPs.
+
+/// Number of data-bearing TLPs to carry `bytes` of payload at `mtu`.
+///
+/// Zero bytes need zero data TLPs (a 0-byte RDMA op never touches DMA;
+/// see the paper's Figure 11 methodology).
+///
+/// # Panics
+///
+/// Panics if `mtu == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pcie_model::tlp::tlp_count;
+///
+/// assert_eq!(tlp_count(1024, 512), 2);
+/// assert_eq!(tlp_count(1025, 512), 3);
+/// assert_eq!(tlp_count(1024, 128), 8);
+/// assert_eq!(tlp_count(0, 512), 0);
+/// ```
+#[inline]
+pub const fn tlp_count(bytes: u64, mtu: u64) -> u64 {
+    assert!(mtu > 0, "PCIe MTU must be positive");
+    bytes.div_ceil(mtu)
+}
+
+/// Number of memory-read-request TLPs to request `bytes`, segmented at the
+/// Maximum Read Request Size.
+///
+/// # Panics
+///
+/// Panics if `mrrs == 0`.
+#[inline]
+pub const fn read_request_tlps(bytes: u64, mrrs: u64) -> u64 {
+    assert!(mrrs > 0, "MRRS must be positive");
+    bytes.div_ceil(mrrs)
+}
+
+/// Number of completion-with-data TLPs returning `bytes`, segmented at the
+/// completer's MPS.
+#[inline]
+pub const fn completion_tlps(bytes: u64, mps: u64) -> u64 {
+    tlp_count(bytes, mps)
+}
+
+/// Number of posted-write TLPs carrying `bytes`, segmented at MPS.
+#[inline]
+pub const fn write_tlps(bytes: u64, mps: u64) -> u64 {
+    tlp_count(bytes, mps)
+}
+
+/// The TLP cost of one DMA operation on one PCIe hop, split by direction.
+///
+/// `towards_endpoint` flows from the switch/NIC to the memory endpoint
+/// (write data, read requests); `from_endpoint` flows back (read
+/// completions, write acknowledgements are DLLP-level and not counted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlpBudget {
+    /// TLPs sent towards the memory endpoint.
+    pub towards_endpoint: u64,
+    /// TLPs returned from the memory endpoint.
+    pub from_endpoint: u64,
+}
+
+impl TlpBudget {
+    /// TLP budget for a DMA write of `bytes` at the endpoint's MPS.
+    ///
+    /// Writes are *posted*: data TLPs flow towards the endpoint and no
+    /// transaction-layer response returns (the paper's Figure 3).
+    pub const fn dma_write(bytes: u64, mps: u64) -> TlpBudget {
+        TlpBudget {
+            towards_endpoint: write_tlps(bytes, mps),
+            from_endpoint: 0,
+        }
+    }
+
+    /// TLP budget for a DMA read of `bytes`: request TLPs towards the
+    /// endpoint (segmented at MRRS), completions back (segmented at MPS).
+    pub const fn dma_read(bytes: u64, mps: u64, mrrs: u64) -> TlpBudget {
+        TlpBudget {
+            towards_endpoint: read_request_tlps(bytes, mrrs),
+            from_endpoint: completion_tlps(bytes, mps),
+        }
+    }
+
+    /// Total TLPs in both directions.
+    pub const fn total(self) -> u64 {
+        self.towards_endpoint + self.from_endpoint
+    }
+
+    /// Component-wise sum of two budgets.
+    pub const fn plus(self, other: TlpBudget) -> TlpBudget {
+        TlpBudget {
+            towards_endpoint: self.towards_endpoint + other.towards_endpoint,
+            from_endpoint: self.from_endpoint + other.from_endpoint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiples() {
+        assert_eq!(tlp_count(512, 512), 1);
+        assert_eq!(tlp_count(512, 128), 4);
+    }
+
+    #[test]
+    fn rounding_up() {
+        assert_eq!(tlp_count(1, 512), 1);
+        assert_eq!(tlp_count(513, 512), 2);
+        assert_eq!(tlp_count(129, 128), 2);
+    }
+
+    #[test]
+    fn paper_table3_host_vs_soc() {
+        // Table 3: N bytes need ceil(N/512) TLPs towards the host but
+        // ceil(N/128) towards the SoC — a 4x packet blowup.
+        let n = 1 << 20; // 1 MiB
+        assert_eq!(tlp_count(n, 128), 4 * tlp_count(n, 512));
+    }
+
+    #[test]
+    fn write_budget_is_one_directional() {
+        let b = TlpBudget::dma_write(4096, 512);
+        assert_eq!(b.towards_endpoint, 8);
+        assert_eq!(b.from_endpoint, 0);
+        assert_eq!(b.total(), 8);
+    }
+
+    #[test]
+    fn read_budget_has_requests_and_completions() {
+        let b = TlpBudget::dma_read(4096, 512, 512);
+        assert_eq!(b.towards_endpoint, 8); // requests at MRRS=512
+        assert_eq!(b.from_endpoint, 8); // completions at MPS=512
+                                        // Large MRRS cuts request TLPs but not completions:
+        let b2 = TlpBudget::dma_read(4096, 512, 4096);
+        assert_eq!(b2.towards_endpoint, 1);
+        assert_eq!(b2.from_endpoint, 8);
+    }
+
+    #[test]
+    fn budget_plus() {
+        let a = TlpBudget::dma_write(512, 512);
+        let b = TlpBudget::dma_read(512, 512, 512);
+        let s = a.plus(b);
+        assert_eq!(s.towards_endpoint, 2);
+        assert_eq!(s.from_endpoint, 1);
+    }
+
+    #[test]
+    fn zero_bytes_zero_tlps() {
+        assert_eq!(TlpBudget::dma_write(0, 512).total(), 0);
+        assert_eq!(TlpBudget::dma_read(0, 512, 512).total(), 0);
+    }
+}

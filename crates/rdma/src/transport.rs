@@ -1,0 +1,279 @@
+//! Queue-pair state machine, send flags and receive queues.
+//!
+//! The subset of ibverbs transport semantics the paper's framework
+//! relies on:
+//!
+//! * the RESET -> INIT -> RTR -> RTS state ladder (posting sends
+//!   requires RTS; posting receives requires INIT or later);
+//! * *unsignaled* sends (no CQE; the paper applies them as a known
+//!   optimization, §2.4) with the mandatory periodic signaled request
+//!   that keeps the send queue reapable;
+//! * *inline* sends (payload copied into the WQE, skipping the payload
+//!   DMA on the requester NIC) with the device's inline size cap;
+//! * receive-queue depth accounting with RNR (receiver-not-ready)
+//!   failures when SENDs outrun posted RECVs.
+
+use simnet::time::Nanos;
+
+/// Queue-pair states (the ibverbs ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QpState {
+    /// Freshly created.
+    Reset,
+    /// Initialized (receives may be posted).
+    Init,
+    /// Ready to receive.
+    Rtr,
+    /// Ready to send.
+    Rts,
+    /// Errored (e.g. RNR beyond retry budget).
+    Error,
+}
+
+/// Invalid state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State before the attempt.
+    pub from: QpState,
+    /// Requested state.
+    pub to: QpState,
+}
+
+impl core::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid QP transition {:?} -> {:?}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// Checks the ibverbs ladder: each state may only be entered from its
+/// predecessor (plus: any state may move to `Error`, and `Error`/any
+/// may reset to `Reset`).
+pub fn check_transition(from: QpState, to: QpState) -> Result<(), InvalidTransition> {
+    use QpState::*;
+    let ok = matches!(
+        (from, to),
+        (Reset, Init) | (Init, Rtr) | (Rtr, Rts) | (_, Error) | (_, Reset)
+    );
+    if ok {
+        Ok(())
+    } else {
+        Err(InvalidTransition { from, to })
+    }
+}
+
+/// Per-post send flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendFlags {
+    /// Generate a CQE for this request.
+    pub signaled: bool,
+    /// Inline the payload into the WQE.
+    pub inline: bool,
+}
+
+impl Default for SendFlags {
+    fn default() -> Self {
+        SendFlags {
+            signaled: true,
+            inline: false,
+        }
+    }
+}
+
+impl SendFlags {
+    /// The unsignaled optimization (one signaled post per
+    /// `SIGNAL_INTERVAL` keeps the queue reapable).
+    pub fn unsignaled() -> Self {
+        SendFlags {
+            signaled: false,
+            inline: false,
+        }
+    }
+
+    /// Inline + signaled.
+    pub fn inline() -> Self {
+        SendFlags {
+            signaled: true,
+            inline: true,
+        }
+    }
+}
+
+/// Maximum inline payload supported by the modelled NICs (bytes).
+pub const MAX_INLINE: u64 = 220;
+
+/// How often an unsignaled stream must still signal to reap the send
+/// queue (every N posts).
+pub const SIGNAL_INTERVAL: u64 = 64;
+
+/// A receive queue with depth accounting.
+#[derive(Debug, Clone)]
+pub struct RecvQueue {
+    depth: usize,
+    posted: usize,
+    /// Replenish automatically on consumption (the paper's echo server
+    /// reposts its receives in a loop).
+    pub auto_replenish: bool,
+    rnr_events: u64,
+}
+
+impl RecvQueue {
+    /// Creates a queue with `depth` slots, initially empty.
+    pub fn new(depth: usize) -> Self {
+        RecvQueue {
+            depth,
+            posted: 0,
+            auto_replenish: false,
+            rnr_events: 0,
+        }
+    }
+
+    /// A pre-stocked, self-replenishing queue (echo-server behaviour).
+    pub fn echo_server(depth: usize) -> Self {
+        RecvQueue {
+            depth,
+            posted: depth,
+            auto_replenish: true,
+            rnr_events: 0,
+        }
+    }
+
+    /// Posts `n` receive WQEs. Returns how many actually fit.
+    pub fn post(&mut self, n: usize) -> usize {
+        let fit = n.min(self.depth - self.posted);
+        self.posted += fit;
+        fit
+    }
+
+    /// Consumes one receive for an inbound SEND; `false` = RNR.
+    pub fn consume(&mut self) -> bool {
+        if self.posted == 0 {
+            self.rnr_events += 1;
+            return false;
+        }
+        self.posted -= 1;
+        if self.auto_replenish {
+            self.posted += 1;
+        }
+        true
+    }
+
+    /// Posted (available) receives.
+    pub fn available(&self) -> usize {
+        self.posted
+    }
+
+    /// RNR events observed.
+    pub fn rnr_events(&self) -> u64 {
+        self.rnr_events
+    }
+}
+
+/// Tracks the unsignaled-send bookkeeping of one send queue: which posts
+/// get CQEs and when the queue would overflow without signaling.
+#[derive(Debug, Clone, Default)]
+pub struct SignalTracker {
+    posts: u64,
+}
+
+impl SignalTracker {
+    /// Creates a tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a post with `flags`; returns whether this post must be
+    /// signaled (either requested, or forced by the periodic rule).
+    pub fn on_post(&mut self, flags: SendFlags) -> bool {
+        self.posts += 1;
+        flags.signaled || self.posts.is_multiple_of(SIGNAL_INTERVAL)
+    }
+
+    /// Total posts seen.
+    pub fn posts(&self) -> u64 {
+        self.posts
+    }
+}
+
+/// CPU-side cost saving of inlining a payload versus building a gather
+/// WQE: the copy costs ~0.25 ns/byte but saves the NIC's payload fetch.
+pub fn inline_copy_cost(bytes: u64) -> Nanos {
+    Nanos::from_nanos_f64(bytes as f64 * 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_up_is_valid() {
+        use QpState::*;
+        assert!(check_transition(Reset, Init).is_ok());
+        assert!(check_transition(Init, Rtr).is_ok());
+        assert!(check_transition(Rtr, Rts).is_ok());
+    }
+
+    #[test]
+    fn skipping_states_is_invalid() {
+        use QpState::*;
+        assert!(check_transition(Reset, Rts).is_err());
+        assert!(check_transition(Init, Rts).is_err());
+        assert!(check_transition(Rts, Rtr).is_err());
+    }
+
+    #[test]
+    fn error_and_reset_reachable_from_anywhere() {
+        use QpState::*;
+        for s in [Reset, Init, Rtr, Rts, Error] {
+            assert!(check_transition(s, Error).is_ok());
+            assert!(check_transition(s, Reset).is_ok());
+        }
+    }
+
+    #[test]
+    fn recv_queue_depth_and_rnr() {
+        let mut rq = RecvQueue::new(2);
+        assert_eq!(rq.post(5), 2, "only the depth fits");
+        assert!(rq.consume());
+        assert!(rq.consume());
+        assert!(!rq.consume(), "empty queue is RNR");
+        assert_eq!(rq.rnr_events(), 1);
+        assert_eq!(rq.post(1), 1);
+        assert!(rq.consume());
+    }
+
+    #[test]
+    fn echo_server_never_rnrs() {
+        let mut rq = RecvQueue::echo_server(4);
+        for _ in 0..100 {
+            assert!(rq.consume());
+        }
+        assert_eq!(rq.rnr_events(), 0);
+    }
+
+    #[test]
+    fn unsignaled_signals_periodically() {
+        let mut t = SignalTracker::new();
+        let mut signaled = 0;
+        for _ in 0..SIGNAL_INTERVAL * 3 {
+            if t.on_post(SendFlags::unsignaled()) {
+                signaled += 1;
+            }
+        }
+        assert_eq!(signaled, 3, "one forced signal per interval");
+    }
+
+    #[test]
+    fn signaled_posts_always_signal() {
+        let mut t = SignalTracker::new();
+        assert!(t.on_post(SendFlags::default()));
+        assert!(t.on_post(SendFlags::inline()));
+    }
+
+    #[test]
+    fn inline_cost_scales() {
+        assert!(inline_copy_cost(220) > inline_copy_cost(32));
+        assert_eq!(inline_copy_cost(0), Nanos::ZERO);
+    }
+}

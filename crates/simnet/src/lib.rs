@@ -1,0 +1,31 @@
+//! `simnet` — a deterministic discrete-event simulation toolkit.
+//!
+//! This crate is the foundation of the off-path SmartNIC reproduction: a
+//! small, fully deterministic discrete-event engine ([`engine::Engine`]),
+//! integer-nanosecond time ([`time::Nanos`]), resource-reservation
+//! primitives ([`resource`]) used to model hardware blocks, measurement
+//! collection ([`stats`]), and seeded randomness ([`rng`]).
+//!
+//! Design rules (see DESIGN.md §4):
+//!
+//! * no wall-clock access anywhere — time only advances through the engine;
+//! * ties at the same instant are broken FIFO so runs are reproducible;
+//! * hardware blocks are servers that requests *reserve* in event order,
+//!   so queueing and interference emerge rather than being scripted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, Step};
+pub use resource::{Dir, DuplexPipe, MultiServer, Pipe, Reservation, Server};
+pub use rng::SimRng;
+pub use stats::{Histogram, LatencySummary, RateMeter};
+pub use time::{Bandwidth, Nanos, Rate};
+pub use trace::{TraceCat, TraceEvent, TraceRing};

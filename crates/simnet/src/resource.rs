@@ -1,0 +1,428 @@
+//! Time-reservation resource primitives.
+//!
+//! The simulators in this workspace model hardware blocks (NIC processing
+//! units, PCIe link directions, DRAM channels, CPU cores) as *servers* on
+//! which requests reserve busy time in event order. Queueing, pipelining
+//! and interference then emerge from the reservations without simulating
+//! every packet as a separate event.
+
+use std::collections::BinaryHeap;
+
+use crate::time::{Bandwidth, Nanos, Rate};
+
+/// The outcome of reserving time on a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the resource actually started serving the request.
+    pub start: Nanos,
+    /// When the resource finishes serving the request.
+    pub finish: Nanos,
+}
+
+impl Reservation {
+    /// Queueing delay experienced before service started.
+    pub fn wait(&self, arrival: Nanos) -> Nanos {
+        self.start.saturating_sub(arrival)
+    }
+}
+
+/// A single FIFO server.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::resource::Server;
+/// use simnet::time::Nanos;
+///
+/// let mut s = Server::new();
+/// let r1 = s.reserve(Nanos::new(0), Nanos::new(10));
+/// let r2 = s.reserve(Nanos::new(5), Nanos::new(10));
+/// assert_eq!(r1.finish, Nanos::new(10));
+/// assert_eq!(r2.start, Nanos::new(10)); // queued behind r1
+/// assert_eq!(r2.finish, Nanos::new(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    next_free: Nanos,
+    busy: Nanos,
+    served: u64,
+}
+
+impl Server {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `service` time starting no earlier than `arrival`.
+    pub fn reserve(&mut self, arrival: Nanos, service: Nanos) -> Reservation {
+        let start = arrival.max(self.next_free);
+        let finish = start + service;
+        self.next_free = finish;
+        self.busy += service;
+        self.served += 1;
+        Reservation { start, finish }
+    }
+
+    /// The earliest instant a new request could begin service.
+    pub fn next_free(&self) -> Nanos {
+        self.next_free
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_time(&self) -> Nanos {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        if horizon == Nanos::ZERO {
+            return 0.0;
+        }
+        self.busy.as_nanos() as f64 / horizon.as_nanos() as f64
+    }
+}
+
+/// A pool of `k` identical servers with earliest-free assignment.
+///
+/// Models pipelined processing units (e.g. NIC PUs): up to `k` requests are
+/// in flight at once; additional ones queue for the first unit to free up.
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    // Min-heap of next-free times, via Reverse ordering on pop.
+    free_times: BinaryHeap<core::cmp::Reverse<Nanos>>,
+    servers: usize,
+    busy: Nanos,
+    served: u64,
+}
+
+impl MultiServer {
+    /// Creates a pool of `servers` idle units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a server pool needs at least one unit");
+        let mut free_times = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_times.push(core::cmp::Reverse(Nanos::ZERO));
+        }
+        MultiServer {
+            free_times,
+            servers,
+            busy: Nanos::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Number of units in the pool.
+    pub fn units(&self) -> usize {
+        self.servers
+    }
+
+    /// Reserves `service` time on the earliest-free unit.
+    pub fn reserve(&mut self, arrival: Nanos, service: Nanos) -> Reservation {
+        let core::cmp::Reverse(free) = self.free_times.pop().expect("pool is never empty");
+        let start = arrival.max(free);
+        let finish = start + service;
+        self.free_times.push(core::cmp::Reverse(finish));
+        self.busy += service;
+        self.served += 1;
+        Reservation { start, finish }
+    }
+
+    /// The earliest instant any unit becomes free.
+    pub fn earliest_free(&self) -> Nanos {
+        self.free_times
+            .peek()
+            .map(|core::cmp::Reverse(t)| *t)
+            .expect("pool is never empty")
+    }
+
+    /// Total busy time across all units.
+    pub fn busy_time(&self) -> Nanos {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Pool utilization over `[0, horizon]` (1.0 = all units always busy).
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        if horizon == Nanos::ZERO {
+            return 0.0;
+        }
+        self.busy.as_nanos() as f64 / (horizon.as_nanos() as f64 * self.servers as f64)
+    }
+}
+
+/// A fluid pipe: a FIFO resource whose service time is the maximum of a
+/// byte-rate constraint and a per-item (packet) constraint.
+///
+/// This is the workhorse model for a PCIe link direction or a network wire:
+/// pushing a transfer of `bytes` segmented into `items` packets occupies the
+/// pipe for `max(bytes / bandwidth, items / packet_rate)`.
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    bandwidth: Bandwidth,
+    item_rate: Option<Rate>,
+    server: Server,
+    bytes: u64,
+    items: u64,
+}
+
+impl Pipe {
+    /// Creates a pipe limited only by `bandwidth`.
+    pub fn new(bandwidth: Bandwidth) -> Self {
+        Pipe {
+            bandwidth,
+            item_rate: None,
+            server: Server::new(),
+            bytes: 0,
+            items: 0,
+        }
+    }
+
+    /// Creates a pipe limited by both `bandwidth` and a per-item rate.
+    pub fn with_item_rate(bandwidth: Bandwidth, item_rate: Rate) -> Self {
+        Pipe {
+            bandwidth,
+            item_rate: Some(item_rate),
+            server: Server::new(),
+            bytes: 0,
+            items: 0,
+        }
+    }
+
+    /// The configured byte bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Service time for a transfer, without reserving it.
+    pub fn service_time(&self, bytes: u64, items: u64) -> Nanos {
+        let byte_time = if self.bandwidth.is_zero() {
+            Nanos::ZERO
+        } else {
+            self.bandwidth.transfer_time(bytes)
+        };
+        let item_time = match self.item_rate {
+            Some(r) => r.service_time(items),
+            None => Nanos::ZERO,
+        };
+        byte_time.max(item_time)
+    }
+
+    /// Reserves the pipe for a transfer of `bytes` in `items` packets.
+    pub fn reserve(&mut self, arrival: Nanos, bytes: u64, items: u64) -> Reservation {
+        let service = self.service_time(bytes, items);
+        self.bytes += bytes;
+        self.items += items;
+        self.server.reserve(arrival, service)
+    }
+
+    /// Total bytes pushed through the pipe.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total items (packets) pushed through the pipe.
+    pub fn total_items(&self) -> u64 {
+        self.items
+    }
+
+    /// The earliest instant a new transfer could begin.
+    pub fn next_free(&self) -> Nanos {
+        self.server.next_free()
+    }
+
+    /// Total busy (serving) time accumulated.
+    pub fn busy_time(&self) -> Nanos {
+        self.server.busy_time()
+    }
+
+    /// Utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        self.server.utilization(horizon)
+    }
+
+    /// Achieved byte throughput over `[0, horizon]`.
+    pub fn achieved_bandwidth(&self, horizon: Nanos) -> Bandwidth {
+        if horizon == Nanos::ZERO {
+            return Bandwidth::ZERO;
+        }
+        Bandwidth::bytes_per_sec(self.bytes as f64 / horizon.as_secs_f64())
+    }
+}
+
+/// A full-duplex link: two independent [`Pipe`]s, one per direction.
+///
+/// Opposite-direction transfers do not contend, which is exactly the
+/// mechanism behind the paper's Figure 5 (READ+WRITE reaching ~2x the
+/// unidirectional limit).
+#[derive(Debug, Clone)]
+pub struct DuplexPipe {
+    /// Forward direction (conventionally: towards the device/host).
+    pub fwd: Pipe,
+    /// Reverse direction.
+    pub rev: Pipe,
+}
+
+/// Direction selector for a [`DuplexPipe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// The forward direction.
+    Fwd,
+    /// The reverse direction.
+    Rev,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Fwd => Dir::Rev,
+            Dir::Rev => Dir::Fwd,
+        }
+    }
+}
+
+impl DuplexPipe {
+    /// Creates a symmetric duplex link.
+    pub fn new(bandwidth: Bandwidth) -> Self {
+        DuplexPipe {
+            fwd: Pipe::new(bandwidth),
+            rev: Pipe::new(bandwidth),
+        }
+    }
+
+    /// Creates a symmetric duplex link with a per-packet rate limit.
+    pub fn with_item_rate(bandwidth: Bandwidth, rate: Rate) -> Self {
+        DuplexPipe {
+            fwd: Pipe::with_item_rate(bandwidth, rate),
+            rev: Pipe::with_item_rate(bandwidth, rate),
+        }
+    }
+
+    /// The pipe for `dir`.
+    pub fn dir(&mut self, dir: Dir) -> &mut Pipe {
+        match dir {
+            Dir::Fwd => &mut self.fwd,
+            Dir::Rev => &mut self.rev,
+        }
+    }
+
+    /// Reserves a transfer in direction `dir`.
+    pub fn reserve(&mut self, dir: Dir, arrival: Nanos, bytes: u64, items: u64) -> Reservation {
+        self.dir(dir).reserve(arrival, bytes, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_fifo_queueing() {
+        let mut s = Server::new();
+        let r1 = s.reserve(Nanos::new(0), Nanos::new(100));
+        let r2 = s.reserve(Nanos::new(10), Nanos::new(100));
+        let r3 = s.reserve(Nanos::new(500), Nanos::new(100));
+        assert_eq!(r1.start, Nanos::ZERO);
+        assert_eq!(r2.start, Nanos::new(100));
+        assert_eq!(r2.wait(Nanos::new(10)), Nanos::new(90));
+        // r3 arrives after the server idles: no wait.
+        assert_eq!(r3.start, Nanos::new(500));
+        assert_eq!(s.served(), 3);
+        assert_eq!(s.busy_time(), Nanos::new(300));
+    }
+
+    #[test]
+    fn multiserver_parallelism() {
+        let mut m = MultiServer::new(2);
+        let r1 = m.reserve(Nanos::new(0), Nanos::new(100));
+        let r2 = m.reserve(Nanos::new(0), Nanos::new(100));
+        let r3 = m.reserve(Nanos::new(0), Nanos::new(100));
+        // Two run in parallel, the third queues.
+        assert_eq!(r1.start, Nanos::ZERO);
+        assert_eq!(r2.start, Nanos::ZERO);
+        assert_eq!(r3.start, Nanos::new(100));
+        assert_eq!(m.units(), 2);
+    }
+
+    #[test]
+    fn multiserver_earliest_free_tracks_heap() {
+        let mut m = MultiServer::new(2);
+        m.reserve(Nanos::ZERO, Nanos::new(50));
+        assert_eq!(m.earliest_free(), Nanos::ZERO);
+        m.reserve(Nanos::ZERO, Nanos::new(80));
+        assert_eq!(m.earliest_free(), Nanos::new(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn multiserver_zero_units_panics() {
+        let _ = MultiServer::new(0);
+    }
+
+    #[test]
+    fn pipe_byte_limit() {
+        // 1 GB/s = 1 byte/ns.
+        let mut p = Pipe::new(Bandwidth::gigabytes_per_sec(1.0));
+        let r = p.reserve(Nanos::ZERO, 1000, 1);
+        assert_eq!(r.finish, Nanos::new(1000));
+    }
+
+    #[test]
+    fn pipe_item_limit_dominates_small_packets() {
+        // 100 M items/s = 10 ns/item; tiny bytes.
+        let mut p = Pipe::with_item_rate(Bandwidth::gigabytes_per_sec(100.0), Rate::mops(100.0));
+        let r = p.reserve(Nanos::ZERO, 64, 4);
+        assert_eq!(r.finish, Nanos::new(40)); // 4 items * 10 ns beats 64 B / 100 GB/s
+    }
+
+    #[test]
+    fn pipe_accounting() {
+        let mut p = Pipe::new(Bandwidth::gigabytes_per_sec(1.0));
+        p.reserve(Nanos::ZERO, 500, 2);
+        p.reserve(Nanos::ZERO, 500, 3);
+        assert_eq!(p.total_bytes(), 1000);
+        assert_eq!(p.total_items(), 5);
+        let bw = p.achieved_bandwidth(Nanos::new(1000));
+        assert!((bw.as_bytes_per_sec() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn duplex_directions_do_not_contend() {
+        let mut d = DuplexPipe::new(Bandwidth::gigabytes_per_sec(1.0));
+        let f = d.reserve(Dir::Fwd, Nanos::ZERO, 1000, 1);
+        let r = d.reserve(Dir::Rev, Nanos::ZERO, 1000, 1);
+        assert_eq!(f.start, Nanos::ZERO);
+        assert_eq!(r.start, Nanos::ZERO);
+        // Same direction would have queued:
+        let f2 = d.reserve(Dir::Fwd, Nanos::ZERO, 1000, 1);
+        assert_eq!(f2.start, Nanos::new(1000));
+    }
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::Fwd.flip(), Dir::Rev);
+        assert_eq!(Dir::Rev.flip(), Dir::Fwd);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut s = Server::new();
+        s.reserve(Nanos::ZERO, Nanos::new(50));
+        assert!((s.utilization(Nanos::new(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilization(Nanos::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic randomness for workloads.
+//!
+//! All stochastic behaviour in the simulators flows through [`SimRng`], a
+//! seeded PRNG wrapper. The engine itself never consults randomness, so a
+//! fixed seed makes entire experiments bit-for-bit reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded PRNG with workload-oriented helpers.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::rng::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.uniform_u64(1000), b.uniform_u64(1000));
+/// ```
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a PRNG from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child PRNG, e.g. one per simulated client.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s: u64 = self.inner.gen::<u64>() ^ salt.rotate_left(17);
+        SimRng::seed(s)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn uniform_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "uniform bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniformly random address in `[base, base + range)`, aligned down
+    /// to `align` bytes (the paper's random-offset access pattern, §2.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align == 0` or `range < align`.
+    pub fn addr_in_range(&mut self, base: u64, range: u64, align: u64) -> u64 {
+        assert!(align > 0, "alignment must be positive");
+        assert!(range >= align, "range must cover at least one slot");
+        let slots = range / align;
+        base + self.uniform_u64(slots) * align
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+
+    /// Picks a uniformly random element index for a slice of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.uniform_u64(len as u64) as usize
+    }
+}
+
+/// A Zipfian-distributed key sampler (used by the key-value workloads).
+///
+/// Implements the standard rejection-free inverse-CDF-table approach for a
+/// fixed population; good enough for up to ~10M keys.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `theta` (0 = uniform,
+    /// 0.99 = classic YCSB skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(theta >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples an item index in `[0, n)`; index 0 is the hottest key.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        let va: Vec<u64> = (0..32).map(|_| a.uniform_u64(1 << 20)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.uniform_u64(1 << 20)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = SimRng::seed(7);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let v1: Vec<u64> = (0..16).map(|_| c1.uniform_u64(1000)).collect();
+        let v2: Vec<u64> = (0..16).map(|_| c2.uniform_u64(1000)).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn addr_alignment_and_range() {
+        let mut rng = SimRng::seed(1);
+        for _ in 0..1000 {
+            let a = rng.addr_in_range(4096, 1 << 20, 64);
+            assert_eq!(a % 64, 0);
+            assert!((4096..4096 + (1 << 20)).contains(&a));
+        }
+    }
+
+    #[test]
+    fn addr_single_slot() {
+        let mut rng = SimRng::seed(1);
+        assert_eq!(rng.addr_in_range(128, 64, 64), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must cover")]
+    fn addr_range_too_small_panics() {
+        SimRng::seed(1).addr_in_range(0, 32, 64);
+    }
+
+    #[test]
+    fn zipf_uniform_theta_zero() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = SimRng::seed(3);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Roughly uniform: every bucket within 3x of the mean.
+        for &c in &counts {
+            assert!(c > 300 && c < 3000, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skewed_head_is_hot() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SimRng::seed(3);
+        let mut head = 0u32;
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 keys should attract >30% of accesses at 0.99 skew.
+        assert!(head > N * 3 / 10, "head share {head}/{N}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.1));
+    }
+}

@@ -1,0 +1,380 @@
+//! Measurement collection: histograms, rate meters and summaries.
+//!
+//! Latency samples are recorded into a log-bucketed histogram (HdrHistogram
+//! style, base-2 with linear sub-buckets) so that million-sample runs stay
+//! O(1) per sample; percentiles are then interpolated within buckets.
+
+use crate::time::{Bandwidth, Nanos, Rate};
+
+/// Number of linear sub-buckets per power of two. 32 gives ~3% worst-case
+/// relative error on percentiles, plenty for figure-shape comparisons.
+const SUB_BUCKETS: usize = 32;
+/// Number of powers of two covered (2^0 .. 2^47 ns ~= 1.6 days).
+const EXPONENTS: usize = 48;
+
+/// A log-bucketed latency histogram over nanosecond samples.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::stats::Histogram;
+/// use simnet::time::Nanos;
+///
+/// let mut h = Histogram::new();
+/// for i in 1..=100u64 {
+///     h.record(Nanos::new(i * 10));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0).as_nanos();
+/// assert!((450..=560).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; SUB_BUCKETS * EXPONENTS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros() as usize; // floor(log2(v))
+        let shift = exp - SUB_BUCKETS.trailing_zeros() as usize;
+        let sub = (v >> shift) as usize - SUB_BUCKETS + SUB_BUCKETS;
+        debug_assert!((SUB_BUCKETS..2 * SUB_BUCKETS).contains(&sub));
+        // Buckets 0..SUB_BUCKETS are exact values; afterwards each exponent
+        // contributes SUB_BUCKETS buckets.
+        let group = exp - SUB_BUCKETS.trailing_zeros() as usize;
+        (group * SUB_BUCKETS + (sub - SUB_BUCKETS) + SUB_BUCKETS).min(SUB_BUCKETS * EXPONENTS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let group = (idx - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (idx - SUB_BUCKETS) % SUB_BUCKETS;
+        let shift = group;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Nanos) {
+        let v = v.as_nanos();
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the samples (zero when empty).
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        Nanos::new((self.sum / self.count as u128) as u64)
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos::new(self.min)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Nanos {
+        Nanos::new(self.max)
+    }
+
+    /// The value at percentile `p` in `[0, 100]` (zero when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Nanos {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Nanos::new(Self::bucket_value(idx).max(self.min).min(self.max));
+            }
+        }
+        Nanos::new(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A printable summary of this histogram.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+/// Percentile summary of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: Nanos,
+    /// Median latency.
+    pub p50: Nanos,
+    /// 90th percentile.
+    pub p90: Nanos,
+    /// 99th percentile.
+    pub p99: Nanos,
+    /// Minimum.
+    pub min: Nanos,
+    /// Maximum.
+    pub max: Nanos,
+}
+
+impl core::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p90={} p99={} min={} max={}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.min, self.max
+        )
+    }
+}
+
+/// Counts completed operations and moved bytes over a measured interval to
+/// derive throughput.
+#[derive(Debug, Clone, Default)]
+pub struct RateMeter {
+    ops: u64,
+    bytes: u64,
+    window_start: Nanos,
+    window_end: Nanos,
+    started: bool,
+}
+
+impl RateMeter {
+    /// Creates an idle meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed operation of `bytes` payload at time `now`.
+    pub fn record(&mut self, now: Nanos, bytes: u64) {
+        if !self.started {
+            self.window_start = now;
+            self.started = true;
+        }
+        self.window_end = self.window_end.max(now);
+        self.ops += 1;
+        self.bytes += bytes;
+    }
+
+    /// Explicitly opens the measurement window at `now` (e.g. after warmup).
+    pub fn open_window(&mut self, now: Nanos) {
+        self.window_start = now;
+        self.window_end = now;
+        self.started = true;
+        self.ops = 0;
+        self.bytes = 0;
+    }
+
+    /// Operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The measurement window duration.
+    pub fn elapsed(&self) -> Nanos {
+        self.window_end.saturating_sub(self.window_start)
+    }
+
+    /// Operation throughput over the window.
+    pub fn ops_rate(&self) -> Rate {
+        let dt = self.elapsed().as_secs_f64();
+        if dt <= 0.0 {
+            return Rate::per_sec(0.0);
+        }
+        Rate::per_sec(self.ops as f64 / dt)
+    }
+
+    /// Byte throughput (goodput) over the window.
+    pub fn goodput(&self) -> Bandwidth {
+        let dt = self.elapsed().as_secs_f64();
+        if dt <= 0.0 {
+            return Bandwidth::ZERO;
+        }
+        Bandwidth::bytes_per_sec(self.bytes as f64 / dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exact_small_values() {
+        let mut h = Histogram::new();
+        h.record(Nanos::new(5));
+        h.record(Nanos::new(5));
+        h.record(Nanos::new(7));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Nanos::new(5));
+        assert_eq!(h.max(), Nanos::new(7));
+        assert_eq!(h.percentile(0.0), Nanos::new(5));
+        assert_eq!(h.percentile(100.0), Nanos::new(7));
+    }
+
+    #[test]
+    fn histogram_percentile_accuracy_within_buckets() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Nanos::new(i));
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let expected = (p / 100.0 * 1000.0) as u64;
+            let got = h.percentile(p).as_nanos();
+            let err = (got as f64 - expected as f64).abs() / expected as f64;
+            assert!(err < 0.05, "p{p}: got {got}, expected ~{expected}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new();
+        h.record(Nanos::new(100));
+        h.record(Nanos::new(300));
+        assert_eq!(h.mean(), Nanos::new(200));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Nanos::new(10));
+        b.record(Nanos::new(1_000_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Nanos::new(10));
+        assert_eq!(a.max(), Nanos::new(1_000_000));
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), Nanos::ZERO);
+        assert_eq!(h.percentile(50.0), Nanos::ZERO);
+        assert_eq!(h.min(), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn histogram_percentile_range_checked() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn histogram_huge_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(Nanos::new(u64::MAX / 2));
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile(50.0).as_nanos() > 0);
+    }
+
+    #[test]
+    fn rate_meter_throughput() {
+        let mut m = RateMeter::new();
+        m.open_window(Nanos::ZERO);
+        for i in 1..=1000u64 {
+            m.record(Nanos::new(i * 1000), 4096); // one op per us
+        }
+        let r = m.ops_rate();
+        assert!((r.as_mops() - 1.0).abs() < 0.01, "{r}");
+        let g = m.goodput();
+        assert!(
+            (g.as_bytes_per_sec() - 4.096e9).abs() / 4.096e9 < 0.01,
+            "{g}"
+        );
+    }
+
+    #[test]
+    fn rate_meter_window_reopen_resets() {
+        let mut m = RateMeter::new();
+        m.record(Nanos::new(10), 100);
+        m.open_window(Nanos::new(1000));
+        assert_eq!(m.ops(), 0);
+        assert_eq!(m.bytes(), 0);
+        m.record(Nanos::new(2000), 100);
+        assert_eq!(m.elapsed(), Nanos::new(1000));
+    }
+
+    #[test]
+    fn rate_meter_empty_is_zero() {
+        let m = RateMeter::new();
+        assert_eq!(m.ops_rate().as_per_sec(), 0.0);
+        assert!(m.goodput().is_zero());
+    }
+
+    #[test]
+    fn latency_summary_display() {
+        let mut h = Histogram::new();
+        h.record(Nanos::new(1500));
+        let s = h.summary();
+        let text = format!("{s}");
+        assert!(text.contains("n=1"), "{text}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Bounded event tracing for simulation debugging.
+//!
+//! A [`TraceRing`] records the last N events (timestamp + category +
+//! message) with O(1) overhead per record; components opt in by holding
+//! a ring and the experiment dumps it when something looks wrong. Traces
+//! are deterministic like everything else, so two runs of the same seed
+//! produce identical dumps — diffing them pinpoints divergence.
+
+use crate::time::Nanos;
+
+/// Category of a traced event (coarse filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCat {
+    /// Request posted by a requester.
+    Post,
+    /// NIC processing milestones.
+    Nic,
+    /// PCIe/DMA transfers.
+    Dma,
+    /// Memory-system accesses.
+    Mem,
+    /// Completion delivery.
+    Complete,
+    /// Anything else.
+    Other,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened (simulated time).
+    pub at: Nanos,
+    /// Category.
+    pub cat: TraceCat,
+    /// Free-form message.
+    pub msg: String,
+}
+
+/// A fixed-capacity ring of trace events.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::trace::{TraceCat, TraceRing};
+/// use simnet::time::Nanos;
+///
+/// let mut ring = TraceRing::new(2);
+/// ring.record(Nanos::new(1), TraceCat::Post, "a");
+/// ring.record(Nanos::new(2), TraceCat::Nic, "b");
+/// ring.record(Nanos::new(3), TraceCat::Dma, "c"); // evicts "a"
+/// let msgs: Vec<&str> = ring.iter().map(|e| e.msg.as_str()).collect();
+/// assert_eq!(msgs, vec!["b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    head: usize,
+    recorded: u64,
+    enabled: bool,
+}
+
+impl TraceRing {
+    /// Creates a ring holding up to `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "trace ring needs capacity");
+        TraceRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            recorded: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled ring: records are no-ops (zero overhead in hot paths).
+    pub fn disabled() -> Self {
+        TraceRing {
+            buf: Vec::new(),
+            cap: 1,
+            head: 0,
+            recorded: 0,
+            enabled: false,
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, at: Nanos, cat: TraceCat, msg: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent {
+            at,
+            cat,
+            msg: msg.into(),
+        };
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.recorded += 1;
+    }
+
+    /// Total events recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (older, newer) = self.buf.split_at(self.head.min(self.buf.len()));
+        newer.iter().chain(older.iter())
+    }
+
+    /// Renders the retained events as text, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in self.iter() {
+            out.push_str(&format!("{:>12} {:?} {}\n", e.at.as_nanos(), e.cat, e.msg));
+        }
+        out
+    }
+
+    /// Retained events matching a category.
+    pub fn filter(&self, cat: TraceCat) -> Vec<&TraceEvent> {
+        self.iter().filter(|e| e.cat == cat).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut r = TraceRing::new(3);
+        for i in 0..10u64 {
+            r.record(Nanos::new(i), TraceCat::Other, format!("e{i}"));
+        }
+        let msgs: Vec<&str> = r.iter().map(|e| e.msg.as_str()).collect();
+        assert_eq!(msgs, vec!["e7", "e8", "e9"]);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn order_is_oldest_first_before_wrap() {
+        let mut r = TraceRing::new(8);
+        r.record(Nanos::new(1), TraceCat::Post, "a");
+        r.record(Nanos::new(2), TraceCat::Nic, "b");
+        let msgs: Vec<&str> = r.iter().map(|e| e.msg.as_str()).collect();
+        assert_eq!(msgs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn disabled_ring_is_a_noop() {
+        let mut r = TraceRing::disabled();
+        r.record(Nanos::new(1), TraceCat::Post, "x");
+        assert_eq!(r.recorded(), 0);
+        assert_eq!(r.iter().count(), 0);
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn filter_by_category() {
+        let mut r = TraceRing::new(8);
+        r.record(Nanos::new(1), TraceCat::Dma, "d1");
+        r.record(Nanos::new(2), TraceCat::Mem, "m1");
+        r.record(Nanos::new(3), TraceCat::Dma, "d2");
+        assert_eq!(r.filter(TraceCat::Dma).len(), 2);
+        assert_eq!(r.filter(TraceCat::Mem).len(), 1);
+        assert_eq!(r.filter(TraceCat::Post).len(), 0);
+    }
+
+    #[test]
+    fn dump_contains_timestamps() {
+        let mut r = TraceRing::new(4);
+        r.record(Nanos::new(1234), TraceCat::Complete, "done");
+        let d = r.dump();
+        assert!(d.contains("1234"));
+        assert!(d.contains("done"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        TraceRing::new(0);
+    }
+}

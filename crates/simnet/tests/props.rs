@@ -1,0 +1,103 @@
+//! Property-based tests of the simulation-engine invariants.
+
+use proptest::prelude::*;
+use simnet::engine::{Engine, Step};
+use simnet::resource::{Dir, DuplexPipe, Pipe};
+use simnet::rng::SimRng;
+use simnet::time::{Bandwidth, Nanos, Rate};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// scheduling order.
+    #[test]
+    fn engine_pops_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..512)) {
+        let mut eng: Engine<usize> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule(Nanos::new(t), i).unwrap();
+        }
+        let mut last = Nanos::ZERO;
+        while let Some((t, _)) = eng.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Same-instant events preserve scheduling (FIFO) order.
+    #[test]
+    fn engine_fifo_at_same_instant(n in 1usize..256, t in 0u64..1000) {
+        let mut eng: Engine<usize> = Engine::new();
+        for i in 0..n {
+            eng.schedule(Nanos::new(t), i).unwrap();
+        }
+        let mut expect = 0;
+        eng.run(|_, _, ev| {
+            assert_eq!(ev, expect);
+            expect += 1;
+            Step::Continue
+        });
+        prop_assert_eq!(expect, n);
+    }
+
+    /// A pipe conserves work: total busy time equals the sum of service
+    /// times, and utilization never exceeds 1 over the busy horizon.
+    #[test]
+    fn pipe_work_conservation(transfers in proptest::collection::vec((1u64..100_000, 0u64..10_000), 1..128)) {
+        let mut p = Pipe::new(Bandwidth::gigabytes_per_sec(1.0));
+        let mut expected_busy = Nanos::ZERO;
+        let mut last_finish = Nanos::ZERO;
+        for &(bytes, arrive) in &transfers {
+            expected_busy += p.service_time(bytes, 1);
+            let r = p.reserve(Nanos::new(arrive), bytes, 1);
+            prop_assert!(r.start >= Nanos::new(arrive));
+            prop_assert!(r.finish >= last_finish, "FIFO order violated");
+            last_finish = r.finish;
+        }
+        prop_assert_eq!(p.busy_time(), expected_busy);
+        prop_assert!(p.busy_time() <= last_finish);
+    }
+
+    /// Duplex directions are fully independent.
+    #[test]
+    fn duplex_independence(n in 1usize..64) {
+        let mut d = DuplexPipe::new(Bandwidth::gigabytes_per_sec(1.0));
+        for _ in 0..n {
+            d.reserve(Dir::Fwd, Nanos::ZERO, 1000, 1);
+        }
+        // The reverse direction is still immediate.
+        let r = d.reserve(Dir::Rev, Nanos::ZERO, 1000, 1);
+        prop_assert_eq!(r.start, Nanos::ZERO);
+    }
+
+    /// Bandwidth/time round trip: transferring N bytes at B bytes/ns
+    /// takes N/B ns within rounding.
+    #[test]
+    fn bandwidth_round_trip(bytes in 1u64..(1 << 30), gbps in 1u64..1000) {
+        let bw = Bandwidth::gbps(gbps as f64);
+        let t = bw.transfer_time(bytes);
+        let ideal = bytes as f64 * 8.0 / (gbps as f64) ; // ns
+        prop_assert!((t.as_nanos() as f64 - ideal).abs() <= ideal * 0.01 + 1.0);
+    }
+
+    /// Rate service time is inverse-linear in the rate.
+    #[test]
+    fn rate_linearity(n in 1u64..1_000_000, mops in 1u64..500) {
+        let r = Rate::mops(mops as f64);
+        let t1 = r.service_time(n);
+        let t2 = r.service_time(2 * n);
+        let ratio = t2.as_nanos() as f64 / t1.as_nanos() as f64;
+        prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    /// Seeded RNG streams are reproducible and respect bounds.
+    #[test]
+    fn rng_bounds_and_determinism(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = SimRng::seed(seed);
+        let mut b = SimRng::seed(seed);
+        for _ in 0..32 {
+            let va = a.uniform_u64(bound);
+            let vb = b.uniform_u64(bound);
+            prop_assert_eq!(va, vb);
+            prop_assert!(va < bound);
+        }
+    }
+}

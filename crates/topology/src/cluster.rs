@@ -1,0 +1,90 @@
+//! Cluster-level (testbed) description.
+
+use simnet::time::{Bandwidth, Nanos};
+
+use crate::machine::MachineSpec;
+
+/// The network fabric between machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSpec {
+    /// One-way latency between any two NICs through the switch (switch
+    /// store-and-forward + SerDes + cables).
+    pub one_way_latency: Nanos,
+    /// Per-port bandwidth of the switch.
+    pub port_bw: Bandwidth,
+}
+
+impl WireSpec {
+    /// The Mellanox SB7890 100 Gbps InfiniBand switch of the paper's
+    /// testbed. 200 Gbps NICs connect with two ports, so the switch does
+    /// not bottleneck them (§2.4).
+    pub fn sb7890() -> Self {
+        WireSpec {
+            one_way_latency: Nanos::new(450),
+            port_bw: Bandwidth::gbps(100.0),
+        }
+    }
+}
+
+/// The whole testbed: servers under test, client machines, and the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Server machines (responders / SmartNIC carriers).
+    pub servers: Vec<MachineSpec>,
+    /// Client machines (requesters).
+    pub clients: Vec<MachineSpec>,
+    /// Interconnect.
+    pub wire: WireSpec,
+}
+
+impl ClusterSpec {
+    /// The paper's rack-scale testbed (Table 2): 3 SRV machines (each can
+    /// carry a Bluefield-2 or a ConnectX-6) and 20 CLI machines with
+    /// ConnectX-4, all on one SB7890 switch.
+    pub fn paper_testbed() -> Self {
+        ClusterSpec {
+            servers: vec![MachineSpec::srv_with_bluefield(); 3],
+            clients: vec![MachineSpec::cli(); 20],
+            wire: WireSpec::sb7890(),
+        }
+    }
+
+    /// A testbed whose servers carry plain RNICs (the baseline rows).
+    pub fn rnic_testbed() -> Self {
+        ClusterSpec {
+            servers: vec![MachineSpec::srv_with_rnic(); 3],
+            clients: vec![MachineSpec::cli(); 20],
+            wire: WireSpec::sb7890(),
+        }
+    }
+
+    /// Maximum requester machines the paper uses to saturate a responder
+    /// (§2.4: "up to eleven requester machines").
+    pub const MAX_REQUESTERS: usize = 11;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = ClusterSpec::paper_testbed();
+        assert_eq!(t.servers.len(), 3);
+        assert_eq!(t.clients.len(), 20);
+        assert!(t.servers[0].nic.smartnic().is_some());
+    }
+
+    #[test]
+    fn rnic_testbed_has_no_soc() {
+        let t = ClusterSpec::rnic_testbed();
+        assert!(t.servers[0].nic.smartnic().is_none());
+    }
+
+    #[test]
+    fn wire_does_not_limit_200g_nics() {
+        // Two 100 Gbps ports connect each 200 Gbps NIC (§2.4).
+        let w = WireSpec::sb7890();
+        assert!(w.port_bw.as_gbps() * 2.0 >= 200.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! `topology` — hardware and testbed descriptions.
+//!
+//! Every numeric constant of the reproduction lives in this crate, each
+//! traceable either to the paper (Table 1, Table 2, quoted measurements)
+//! or to public hardware specs (PCIe, DDR4). The simulator crates consume
+//! these specs; the calibration tests in `snic-core` pin the emergent
+//! behaviour to the paper's reported numbers.
+//!
+//! The three preset layers:
+//!
+//! * device specs — [`NicSpec::connectx6`], [`NicSpec::connectx4`],
+//!   [`SmartNicSpec::bluefield2`];
+//! * machine specs — [`MachineSpec::srv_with_bluefield`],
+//!   [`MachineSpec::srv_with_rnic`], [`MachineSpec::cli`];
+//! * the cluster — [`ClusterSpec::paper_testbed`] (3 SRV + 20 CLI behind
+//!   a 100 Gbps InfiniBand switch, Table 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod machine;
+pub mod nic;
+
+pub use cluster::{ClusterSpec, WireSpec};
+pub use machine::{CpuSpec, HostSpec, MachineSpec, NicDevice};
+pub use nic::{NicSpec, SmartNicSpec, SocSpec};

@@ -1,0 +1,220 @@
+//! Machine-level specifications (host CPU + memory + attached NIC).
+
+use memsys::dram::DramSpec;
+use memsys::llc::LlcSpec;
+use pcie_model::link::{PcieGen, PcieLinkSpec};
+use simnet::time::Nanos;
+
+use crate::nic::{NicSpec, SmartNicSpec};
+
+/// A host CPU complex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// Total cores across sockets.
+    pub cores: u32,
+    /// Per-message handling time for two-sided RDMA (echo-server loop).
+    pub msg_handle_time: Nanos,
+    /// Per-request time to post a verb.
+    pub post_time: Nanos,
+    /// MMIO write latency from a core to the NIC doorbell.
+    pub mmio_latency: Nanos,
+    /// CPU-side cost per MMIO post: with write-combining the core retires
+    /// the doorbell store long before it lands (< `mmio_latency`).
+    pub mmio_issue: Nanos,
+}
+
+impl CpuSpec {
+    /// The SRV hosts: 2x Xeon Gold 5317 (24 cores, Table 2).
+    ///
+    /// `msg_handle_time` calibrated to §2.1: 24 cores saturate at
+    /// ~87 M messages/s on a 200 Gbps RNIC.
+    pub fn srv_xeon() -> Self {
+        CpuSpec {
+            cores: 24,
+            msg_handle_time: Nanos::new(276),
+            post_time: Nanos::new(70),
+            mmio_latency: Nanos::new(210),
+            mmio_issue: Nanos::new(60),
+        }
+    }
+
+    /// The CLI hosts: 2x E5-2650 v4 (24 cores @ 2.2 GHz, Table 2).
+    pub fn cli_xeon() -> Self {
+        CpuSpec {
+            cores: 24,
+            msg_handle_time: Nanos::new(340),
+            post_time: Nanos::new(90),
+            mmio_latency: Nanos::new(230),
+            mmio_issue: Nanos::new(70),
+        }
+    }
+}
+
+/// A host's memory + PCIe front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSpec {
+    /// CPU complex.
+    pub cpu: CpuSpec,
+    /// DRAM subsystem.
+    pub dram: DramSpec,
+    /// LLC (DDIO target).
+    pub llc: LlcSpec,
+    /// Whether DDIO is enabled.
+    pub ddio: bool,
+    /// The host's PCIe link towards its NIC (PCIe0 for Bluefield hosts).
+    pub pcie: PcieLinkSpec,
+    /// One-way propagation latency of that link.
+    pub pcie_latency: Nanos,
+    /// Root-complex/IOMMU overhead per DMA crossing into host memory.
+    /// The SoC memory skips this — the paper's suspicion for why READ to
+    /// the SoC can beat even the RNIC baseline ("closer packaging of SoC
+    /// memory and the PCIe switch", §3.2).
+    pub root_complex_latency: Nanos,
+}
+
+impl HostSpec {
+    /// An SRV host: PCIe 4.0 x16, 8-channel DDR4-2933, DDIO on.
+    pub fn srv() -> Self {
+        HostSpec {
+            cpu: CpuSpec::srv_xeon(),
+            dram: DramSpec::host_ddr4(),
+            llc: LlcSpec::xeon_like(),
+            ddio: true,
+            pcie: PcieLinkSpec::new(PcieGen::Gen4, 16, 512, 512),
+            pcie_latency: Nanos::new(125),
+            root_complex_latency: Nanos::new(150),
+        }
+    }
+
+    /// A CLI host: PCIe 3.0 x16, DDIO on.
+    pub fn cli() -> Self {
+        HostSpec {
+            cpu: CpuSpec::cli_xeon(),
+            dram: DramSpec::host_ddr4(),
+            llc: LlcSpec::xeon_like(),
+            ddio: true,
+            pcie: PcieLinkSpec::new(PcieGen::Gen3, 16, 256, 512),
+            pcie_latency: Nanos::new(140),
+            root_complex_latency: Nanos::new(160),
+        }
+    }
+}
+
+/// Which NIC a machine carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NicDevice {
+    /// A plain RDMA NIC (no SoC).
+    Rnic(NicSpec),
+    /// An off-path SmartNIC.
+    SmartNic(SmartNicSpec),
+}
+
+impl NicDevice {
+    /// The NIC-core spec regardless of device kind.
+    pub fn nic(&self) -> &NicSpec {
+        match self {
+            NicDevice::Rnic(n) => n,
+            NicDevice::SmartNic(s) => &s.nic,
+        }
+    }
+
+    /// The SmartNIC spec, if this device is one.
+    pub fn smartnic(&self) -> Option<&SmartNicSpec> {
+        match self {
+            NicDevice::Rnic(_) => None,
+            NicDevice::SmartNic(s) => Some(s),
+        }
+    }
+}
+
+/// A complete machine: host + NIC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Host side.
+    pub host: HostSpec,
+    /// Attached NIC.
+    pub nic: NicDevice,
+}
+
+impl MachineSpec {
+    /// An SRV machine carrying a Bluefield-2 (the system under test).
+    pub fn srv_with_bluefield() -> Self {
+        MachineSpec {
+            host: HostSpec::srv(),
+            nic: NicDevice::SmartNic(SmartNicSpec::bluefield2()),
+        }
+    }
+
+    /// An SRV machine carrying a plain ConnectX-6 (the RNIC baseline).
+    pub fn srv_with_rnic() -> Self {
+        MachineSpec {
+            host: HostSpec::srv(),
+            nic: NicDevice::Rnic(NicSpec::connectx6()),
+        }
+    }
+
+    /// An SRV machine carrying a (hypothetical, §5) Bluefield-3.
+    pub fn srv_with_bluefield3() -> Self {
+        MachineSpec {
+            host: HostSpec::srv(),
+            nic: NicDevice::SmartNic(SmartNicSpec::bluefield3()),
+        }
+    }
+
+    /// A CLI machine with a ConnectX-4 (request generator).
+    pub fn cli() -> Self {
+        MachineSpec {
+            host: HostSpec::cli(),
+            nic: NicDevice::Rnic(NicSpec::connectx4()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srv_two_sided_calibration() {
+        // §2.1: 24 host cores reach ~87 Mpps of two-sided messages.
+        let c = CpuSpec::srv_xeon();
+        let mpps = c.cores as f64 / c.msg_handle_time.as_nanos() as f64 * 1e3;
+        assert!((80.0..=95.0).contains(&mpps), "host two-sided {mpps} Mpps");
+    }
+
+    #[test]
+    fn nic_device_accessors() {
+        let m = MachineSpec::srv_with_bluefield();
+        assert!(m.nic.smartnic().is_some());
+        assert_eq!(m.nic.nic().name, "ConnectX-6");
+        let r = MachineSpec::srv_with_rnic();
+        assert!(r.nic.smartnic().is_none());
+    }
+
+    #[test]
+    fn cli_pcie_is_gen3() {
+        let m = MachineSpec::cli();
+        assert_eq!(m.host.pcie.gen, PcieGen::Gen3);
+        // Gen3 x16 =~ 126 Gbps, enough for the CX-4's 100 Gbps.
+        assert!(m.host.pcie.raw_bandwidth().as_gbps() > 100.0);
+    }
+
+    #[test]
+    fn soc_wimpier_than_host_for_messages() {
+        let host = CpuSpec::srv_xeon();
+        let soc = SmartNicSpec::bluefield2().soc;
+        let host_rate = host.cores as f64 / host.msg_handle_time.as_nanos() as f64;
+        let soc_rate = soc.cores as f64 / soc.msg_handle_time.as_nanos() as f64;
+        // §3.2: two-sided throughput drops by up to ~64% on the SoC.
+        let drop = 1.0 - soc_rate / host_rate;
+        assert!((0.55..=0.75).contains(&drop), "SoC msg drop {drop:.2}");
+    }
+
+    #[test]
+    fn soc_mmio_slower_than_host_mmio() {
+        // Figure 10(a): posting from the SoC has much higher latency.
+        let host = CpuSpec::srv_xeon();
+        let soc = SmartNicSpec::bluefield2().soc;
+        assert!(soc.mmio_latency > host.mmio_latency * 2);
+    }
+}

@@ -1,0 +1,18 @@
+//! What changes on Bluefield-3? The §5 Discussion what-ifs: rescaled
+//! budgets and knees (the anomalies persist), plus the CXL suggestion.
+//!
+//! Run with `cargo run --release --example bluefield3_whatif`.
+
+use offpath_smartnic::study::experiments::discussion;
+
+fn main() {
+    for t in discussion::run(true) {
+        println!("{}", t.to_text());
+    }
+    println!(
+        "Takeaway: Bluefield-3 keeps the off-path architecture, so every\n\
+         guideline survives with new constants — budget path 3 to ~104\n\
+         Gbps, segment READs at 18 MB — and CXL would remove the path-3\n\
+         packet tax entirely."
+    );
+}

@@ -1,0 +1,50 @@
+//! Doorbell-batching tuning across requester locations (Advice #4 /
+//! Figure 10): batching is mandatory on the SoC, mildly harmful
+//! host-side at small batches, and a small win from clients.
+//!
+//! Run with `cargo run --release --example doorbell_tuning`.
+
+use offpath_smartnic::rdma::{PostCostModel, PostMode, PosterKind};
+use offpath_smartnic::topology::MachineSpec;
+
+fn main() {
+    let posters = [
+        ("client machine", PosterKind::Client, MachineSpec::cli()),
+        (
+            "host CPU (H2S)",
+            PosterKind::HostCpu,
+            MachineSpec::srv_with_bluefield(),
+        ),
+        (
+            "SoC core (S2H)",
+            PosterKind::SocCore,
+            MachineSpec::srv_with_bluefield(),
+        ),
+    ];
+
+    println!(
+        "{:<16} {:>12} doorbell-batching speedup by batch size",
+        "requester", "MMIO [M/s]"
+    );
+    println!(
+        "{:<16} {:>12} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        " ", " ", "8", "16", "32", "48", "80"
+    );
+    for (name, kind, machine) in posters {
+        let m = PostCostModel::new(&machine, kind);
+        let base = m.posting_rate_mops(PostMode::Mmio);
+        let speedups: Vec<String> = [8, 16, 32, 48, 80]
+            .iter()
+            .map(|&n| format!("{:>6.2}x", m.db_speedup(n)))
+            .collect();
+        println!("{:<16} {:>12.2} {}", name, base, speedups.join(" "));
+        let verdict = if m.db_speedup(16) > 1.5 {
+            "always batch"
+        } else if m.db_speedup(16) < 1.0 {
+            "post inline at small batches"
+        } else {
+            "batch for modest gains"
+        };
+        println!("{:<16} -> {}", "", verdict);
+    }
+}

@@ -1,0 +1,97 @@
+//! The offload advisor applied to a catalogue of realistic offloading
+//! plans — each of the paper's four advices firing on the plan that
+//! violates it.
+//!
+//! Run with `cargo run --release --example offload_advisor`.
+
+use offpath_smartnic::nicsim::{PathKind, Verb};
+use offpath_smartnic::study::advisor::{OffloadAdvisor, Severity, WorkloadDesc};
+
+fn main() {
+    let advisor = OffloadAdvisor::bluefield2();
+
+    let plans: Vec<(&str, WorkloadDesc)> = vec![
+        (
+            "lock table on the SoC (64 B CAS-like writes, hot 1.5 KB region)",
+            WorkloadDesc {
+                path: PathKind::Snic2,
+                verb: Verb::Write,
+                payload: 64,
+                addr_range: 1536,
+                batch: 1,
+                nic_saturated: false,
+            },
+        ),
+        (
+            "bulk checkpoint fetch from SoC staging memory (16 MB READs)",
+            WorkloadDesc {
+                path: PathKind::Snic2,
+                verb: Verb::Read,
+                payload: 16 << 20,
+                addr_range: 8 << 30,
+                batch: 16,
+                nic_saturated: false,
+            },
+        ),
+        (
+            "host->SoC shuffle while serving clients at line rate (8 MB blocks)",
+            WorkloadDesc {
+                path: PathKind::Snic3H2S,
+                verb: Verb::Write,
+                payload: 8 << 20,
+                addr_range: 8 << 30,
+                batch: 32,
+                nic_saturated: true,
+            },
+        ),
+        (
+            "SoC-side log shipper posting one request at a time",
+            WorkloadDesc {
+                path: PathKind::Snic3S2H,
+                verb: Verb::Write,
+                payload: 4096,
+                addr_range: 1 << 30,
+                batch: 1,
+                nic_saturated: false,
+            },
+        ),
+        (
+            "well-behaved: 256 B writes to host memory, wide range, batched",
+            WorkloadDesc {
+                path: PathKind::Snic1,
+                verb: Verb::Write,
+                payload: 256,
+                addr_range: 1 << 30,
+                batch: 32,
+                nic_saturated: false,
+            },
+        ),
+    ];
+
+    for (name, desc) in plans {
+        println!("plan: {name}");
+        let findings = advisor.analyse(&desc);
+        let worst = findings
+            .iter()
+            .map(|f| f.severity)
+            .max()
+            .expect("four checks always run");
+        if worst == Severity::Ok {
+            println!("  clean: no anomaly expected\n");
+            continue;
+        }
+        for f in findings.iter().filter(|f| f.severity != Severity::Ok) {
+            println!("  [advice #{} {:?}] {}", f.advice, f.severity, f.message);
+        }
+        // Show the concrete mitigation for oversized reads.
+        if desc.verb == Verb::Read && desc.payload > advisor.read_collapse_threshold() {
+            let chunks = advisor.segment_read(desc.payload);
+            println!(
+                "  -> segmented into {} chunks of <= {} bytes",
+                chunks.len(),
+                chunks[0]
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! YCSB-style mixed workloads across the four KV-store designs — where
+//! does SmartNIC offloading pay under realistic read/update mixes?
+//!
+//! Run with `cargo run --release --example ycsb_mixes`.
+
+use offpath_smartnic::kvstore::{ycsb_table, KeyDist};
+
+fn main() {
+    println!("{}", ycsb_table(true, KeyDist::Uniform).to_text());
+    println!("{}", ycsb_table(true, KeyDist::Zipf(0.99)).to_text());
+    println!(
+        "Reading the tables: the SoC-offloaded design holds a flat p99\n\
+         across mixes (one round trip regardless of index load), while\n\
+         the one-sided designs' tails grow with skew — the Figure 1\n\
+         story under production-like mixes."
+    );
+}

@@ -1,0 +1,18 @@
+//! `offpath-smartnic` — umbrella crate for the off-path SmartNIC study
+//! reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use memsys;
+pub use nicsim;
+pub use pcie_model as pcie;
+pub use rdma_sim as rdma;
+pub use simnet;
+pub use snic_core as study;
+pub use snic_kvstore as kvstore;
+pub use topology;

@@ -1,0 +1,134 @@
+//! The advisor's predictions validated against the simulator: every
+//! advice must actually pay off when followed on the modelled hardware.
+
+use offpath_smartnic::nicsim::{Endpoint, PathKind, Verb};
+use offpath_smartnic::rdma::PostMode;
+use offpath_smartnic::simnet::time::Nanos;
+use offpath_smartnic::study::advisor::{OffloadAdvisor, Severity};
+use offpath_smartnic::study::harness::{run_scenario, Scenario, StreamSpec};
+
+fn quick() -> Scenario {
+    Scenario {
+        warmup: Nanos::from_micros(100),
+        duration: Nanos::from_micros(700),
+        ..Scenario::default()
+    }
+}
+
+/// Advice #1: the advisor's safe range really marks the knee.
+#[test]
+fn skew_safe_range_is_the_knee() {
+    let advisor = OffloadAdvisor::bluefield2();
+    let safe = advisor.skew_safe_range();
+    let below = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic2, Verb::Write, 64, 11).with_range(safe / 8)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    let above = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic2, Verb::Write, 64, 11).with_range(safe * 8)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    assert!(
+        above > 1.5 * below,
+        "range {safe}: below-knee {below:.1} vs above-knee {above:.1} M/s"
+    );
+}
+
+/// Advice #2: following the advisor's segmentation beats the naive plan.
+#[test]
+fn segmentation_advice_pays_off() {
+    let advisor = OffloadAdvisor::bluefield2();
+    let payload: u64 = 12 << 20;
+    let chunks = advisor.segment_read(payload);
+    assert!(chunks.len() > 1, "advisor must split a 12 MB read");
+    let sc = Scenario {
+        warmup: Nanos::from_millis(10),
+        duration: Nanos::from_millis(50),
+        ..Scenario::default()
+    };
+    let naive = run_scenario(
+        &sc,
+        &[StreamSpec::new(PathKind::Snic2, Verb::Read, payload, 4)
+            .with_threads(2)
+            .with_window(2)],
+    )
+    .streams[0]
+        .goodput
+        .as_gbps();
+    let advised = run_scenario(
+        &sc,
+        &[StreamSpec::new(PathKind::Snic2, Verb::Read, chunks[0], 4)
+            .with_threads(2)
+            .with_window(2 * chunks.len())],
+    )
+    .streams[0]
+        .goodput
+        .as_gbps();
+    assert!(
+        advised > naive,
+        "advised chunks {advised:.0} Gbps !> naive {naive:.0} Gbps"
+    );
+}
+
+/// Advice #3: thresholds are consistent with the machine model.
+#[test]
+fn path3_thresholds_match_machine() {
+    let advisor = OffloadAdvisor::bluefield2();
+    let m = offpath_smartnic::nicsim::ServerMachine::new(
+        offpath_smartnic::topology::MachineSpec::srv_with_bluefield(),
+    );
+    assert_eq!(
+        advisor.path3_cutthrough_threshold(Endpoint::Host),
+        m.path3_threshold(Endpoint::Host)
+    );
+    assert_eq!(
+        advisor.path3_cutthrough_threshold(Endpoint::Soc),
+        m.path3_threshold(Endpoint::Soc)
+    );
+}
+
+/// Advice #4: the end-to-end S2H throughput with DB matches the
+/// advisor's polarity call.
+#[test]
+fn doorbell_advice_matches_end_to_end() {
+    let advisor = OffloadAdvisor::bluefield2();
+    assert_eq!(
+        advisor.check_doorbell(PathKind::Snic3S2H, 1).severity,
+        Severity::Severe,
+        "SoC-side MMIO posting must be flagged"
+    );
+    let nodb = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic3S2H, Verb::Read, 64, 1).with_post_mode(PostMode::Mmio)],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    let db = run_scenario(
+        &quick(),
+        &[StreamSpec::new(PathKind::Snic3S2H, Verb::Read, 64, 1)
+            .with_post_mode(PostMode::Doorbell(32))],
+    )
+    .streams[0]
+        .ops
+        .as_mops();
+    assert!(db > 1.5 * nodb, "DB {db:.1} !>> MMIO {nodb:.1} M/s");
+}
+
+/// The Table 3 analytic model agrees with the simulator's counters.
+#[test]
+fn packet_model_matches_counters() {
+    use offpath_smartnic::study::experiments::table3_packets::measured_tlps_per_request;
+    use offpath_smartnic::study::model::PacketModel;
+    let model = PacketModel::default();
+    let m = model.packets(PathKind::Snic2, 1 << 20);
+    let (p1, _) = measured_tlps_per_request(PathKind::Snic2);
+    let err = (p1 - m.pcie1 as f64).abs() / m.pcie1 as f64;
+    assert!(err < 0.15, "pcie1 model {} vs measured {p1:.0}", m.pcie1);
+}

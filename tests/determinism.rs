@@ -1,0 +1,74 @@
+//! Whole-stack determinism: identical seeds produce bit-identical
+//! results across the harness, the KV store and the figure pipelines.
+
+use offpath_smartnic::nicsim::{PathKind, Verb};
+use offpath_smartnic::simnet::time::Nanos;
+use offpath_smartnic::study::harness::{run_scenario, Scenario, StreamSpec};
+
+fn quick(seed: u64) -> Scenario {
+    Scenario {
+        warmup: Nanos::from_micros(100),
+        duration: Nanos::from_micros(600),
+        seed,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn scenario_bit_identical_across_runs() {
+    let spec = || {
+        vec![
+            StreamSpec::new(PathKind::Snic1, Verb::Read, 256, 5),
+            StreamSpec::new(PathKind::Snic3H2S, Verb::Write, 1024, 1),
+        ]
+    };
+    let a = run_scenario(&quick(7), &spec());
+    let b = run_scenario(&quick(7), &spec());
+    for (x, y) in a.streams.iter().zip(b.streams.iter()) {
+        assert_eq!(x.ops.as_per_sec(), y.ops.as_per_sec());
+        assert_eq!(x.latency.p50, y.latency.p50);
+        assert_eq!(x.latency.p99, y.latency.p99);
+        assert_eq!(x.goodput.as_bytes_per_sec(), y.goodput.as_bytes_per_sec());
+    }
+    assert_eq!(a.counters.total_tlps(), b.counters.total_tlps());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let spec = || vec![StreamSpec::new(PathKind::Snic2, Verb::Write, 64, 5).with_range(1 << 16)];
+    let a = run_scenario(&quick(1), &spec());
+    let b = run_scenario(&quick(2), &spec());
+    // Same physics, different address streams: rates close but latencies
+    // (orderings) generally not bit-identical.
+    let ra = a.streams[0].ops.as_mops();
+    let rb = b.streams[0].ops.as_mops();
+    assert!(
+        (ra - rb).abs() / ra < 0.1,
+        "seeds changed physics: {ra} vs {rb}"
+    );
+}
+
+#[test]
+fn figure_pipeline_deterministic() {
+    let a = offpath_smartnic::study::experiments::fig7_skew::run(true);
+    let b = offpath_smartnic::study::experiments::fig7_skew::run(true);
+    for (ta, tb) in a.iter().zip(b.iter()) {
+        assert_eq!(ta.rows, tb.rows, "{}", ta.title);
+    }
+}
+
+#[test]
+fn kvstore_deterministic() {
+    use offpath_smartnic::kvstore::{run_gets, Design, KeyDist, KvConfig};
+    let cfg = KvConfig {
+        n_keys: 2000,
+        index_buckets: 1024,
+        value_size: 128,
+        n_clients: 2,
+    };
+    let a = run_gets(Design::SocIndex, cfg, 200, KeyDist::Zipf(0.9), 11);
+    let b = run_gets(Design::SocIndex, cfg, 200, KeyDist::Zipf(0.9), 11);
+    assert_eq!(a.mean_latency, b.mean_latency);
+    assert_eq!(a.p99_latency, b.p99_latency);
+    assert_eq!(a.gets_per_sec, b.gets_per_sec);
+}

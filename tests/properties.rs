@@ -1,0 +1,135 @@
+//! Property-based tests of cross-stack invariants (proptest).
+
+use offpath_smartnic::nicsim::{Fabric, PathKind, RequestDesc, Verb};
+use offpath_smartnic::pcie::tlp::{tlp_count, TlpBudget};
+use offpath_smartnic::simnet::resource::{MultiServer, Server};
+use offpath_smartnic::simnet::stats::Histogram;
+use offpath_smartnic::simnet::time::Nanos;
+use proptest::prelude::*;
+
+proptest! {
+    /// Completions never precede posts, and milestones stay ordered, for
+    /// any verb/path/payload combination.
+    #[test]
+    fn fabric_milestones_ordered(
+        verb_i in 0usize..3,
+        path_i in 0usize..5,
+        payload in 0u64..(1 << 20),
+        posted_us in 0u64..1000,
+    ) {
+        let verb = Verb::ALL[verb_i];
+        let path = PathKind::ALL[path_i];
+        let mut f = if path == PathKind::Rnic1 {
+            Fabric::rnic_testbed(1)
+        } else {
+            Fabric::bluefield_testbed(1)
+        };
+        let c = f.execute(
+            Nanos::from_micros(posted_us),
+            RequestDesc::new(verb, path, payload, 4096, 0),
+        );
+        prop_assert!(c.posted <= c.nic_start);
+        prop_assert!(c.nic_start <= c.completed);
+    }
+
+    /// Request latency is monotone in payload for one-sided verbs on an
+    /// otherwise idle fabric.
+    #[test]
+    fn latency_monotone_in_payload(small in 1u64..(1 << 16), factor in 2u64..16) {
+        let large = small * factor;
+        let mut f1 = Fabric::bluefield_testbed(1);
+        let c_small = f1.execute(
+            Nanos::ZERO,
+            RequestDesc::new(Verb::Read, PathKind::Snic1, small, 0, 0),
+        );
+        let mut f2 = Fabric::bluefield_testbed(1);
+        let c_large = f2.execute(
+            Nanos::ZERO,
+            RequestDesc::new(Verb::Read, PathKind::Snic1, large, 0, 0),
+        );
+        prop_assert!(c_large.latency() >= c_small.latency());
+    }
+
+    /// TLP counts: splitting a transfer never reduces the packet count,
+    /// and counts are exact for multiples.
+    #[test]
+    fn tlp_count_superadditive(a in 1u64..(1 << 22), b in 1u64..(1 << 22), mtu_pow in 7u32..13) {
+        let mtu = 1u64 << mtu_pow;
+        prop_assert!(tlp_count(a, mtu) + tlp_count(b, mtu) >= tlp_count(a + b, mtu));
+        prop_assert_eq!(tlp_count(a * mtu, mtu), a);
+    }
+
+    /// A DMA read budget always has as many completions as a write of
+    /// the same size has data TLPs.
+    #[test]
+    fn read_write_budget_symmetry(bytes in 0u64..(1 << 24)) {
+        let w = TlpBudget::dma_write(bytes, 512);
+        let r = TlpBudget::dma_read(bytes, 512, 512);
+        prop_assert_eq!(w.towards_endpoint, r.from_endpoint);
+    }
+
+    /// FIFO servers never start a request before its arrival and never
+    /// overlap service.
+    #[test]
+    fn server_reservations_are_disjoint(arrivals in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let mut s = Server::new();
+        let mut last_finish = Nanos::ZERO;
+        for a in arrivals {
+            let r = s.reserve(Nanos::new(a), Nanos::new(10));
+            prop_assert!(r.start >= Nanos::new(a));
+            prop_assert!(r.start >= last_finish);
+            last_finish = r.finish;
+        }
+    }
+
+    /// A k-unit pool admits at most k overlapping reservations.
+    #[test]
+    fn multiserver_parallelism_bounded(k in 1usize..8, n in 1usize..64) {
+        let mut m = MultiServer::new(k);
+        let service = Nanos::new(100);
+        let mut finishes: Vec<Nanos> = Vec::new();
+        for _ in 0..n {
+            finishes.push(m.reserve(Nanos::ZERO, service).finish);
+        }
+        // With all arrivals at t=0, the i-th completion (sorted) is at
+        // ceil((i+1)/k) * service.
+        finishes.sort();
+        for (i, f) in finishes.iter().enumerate() {
+            let wave = (i / k + 1) as u64;
+            prop_assert_eq!(f.as_nanos(), wave * 100);
+        }
+    }
+
+    /// Histogram percentiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_percentiles_monotone(values in proptest::collection::vec(1u64..1_000_000, 1..256)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(Nanos::new(v));
+        }
+        let p = |q: f64| h.percentile(q);
+        prop_assert!(p(10.0) <= p(50.0));
+        prop_assert!(p(50.0) <= p(90.0));
+        prop_assert!(p(90.0) <= p(99.9));
+        prop_assert!(p(0.0) >= h.min());
+        prop_assert!(p(100.0) <= h.max());
+    }
+
+    /// KV index: any insertion set round-trips, whatever the key set.
+    #[test]
+    fn kv_index_roundtrip(keys in proptest::collection::hash_set(0u64..1_000_000, 1..256)) {
+        use offpath_smartnic::kvstore::HashIndex;
+        let mut idx = HashIndex::new(512, 0);
+        let mut inserted = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if idx.insert(k, i as u64 * 64, 64).is_ok() {
+                inserted.push((k, i as u64 * 64));
+            }
+        }
+        for (k, addr) in inserted {
+            let l = idx.lookup(k);
+            prop_assert!(l.is_ok(), "lost key {k}");
+            prop_assert_eq!(l.unwrap().entry.value_addr, addr);
+        }
+    }
+}

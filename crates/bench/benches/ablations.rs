@@ -1,19 +1,22 @@
 //! Ablation benches for the design choices flagged in DESIGN.md §7.
 //!
 //! Each ablation varies one architectural parameter of the model and
-//! measures the figure metric it drives, so `cargo bench -- ablation`
-//! quantifies how much each mechanism contributes:
+//! measures the figure metric it drives, so `cargo bench --bench
+//! ablations` quantifies how much each mechanism contributes:
 //!
 //! 1. PU reservation split (Figure 11 concurrency gain);
 //! 2. completion-reorder buffer size (Figure 8 collapse threshold);
 //! 3. DDIO on/off (Figure 7 host skew immunity);
 //! 4. SoC PCIe MTU (Figure 8 packet blowup / Advice #2);
 //! 5. doorbell-batching window (Figure 10 polarity).
+//!
+//! Runs on the in-tree harness (`snic_bench::timing`); tune with
+//! `BENCH_SAMPLES` / `BENCH_WARMUP`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nicsim::{PathKind, Verb};
 use rdma_sim::{PostCostModel, PosterKind};
 use simnet::time::Nanos;
+use snic_bench::timing::Bench;
 use snic_core::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
 use topology::{MachineSpec, NicDevice};
 
@@ -32,145 +35,126 @@ fn custom(modify: impl FnOnce(&mut MachineSpec)) -> ServerKind {
     ServerKind::Custom(m)
 }
 
-fn ablation_pu_split(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/pu_split");
+fn ablation_pu_split(b: &Bench) {
     for reserved in [0u32, 3, 6] {
-        g.bench_with_input(BenchmarkId::from_parameter(reserved), &reserved, |b, &r| {
-            let server = custom(|m| {
-                if let NicDevice::SmartNic(s) = &mut m.nic {
-                    s.nic.pu_reserved_per_endpoint = r;
-                }
-            });
-            // Single-path zero-byte load: a path alone can only use the
-            // shared pool plus its own reserved units, so its peak is
-            // (total - reserved)/t — the reservation split is invisible
-            // to the concurrent total (always all units) but caps each
-            // path alone, which is what Figure 11 observes.
-            let run = || {
-                let sc = Scenario { server, ..micro() };
-                let a = StreamSpec::new(PathKind::Snic1, Verb::Read, 0, 8).with_window(16);
-                run_scenario(&sc, &[a]).streams[0].ops.as_mops()
-            };
-            eprintln!(
-                "[ablation pu_split={r}] SNIC(1) alone = {:.0} M reqs/s",
-                run()
-            );
-            b.iter(run)
+        let server = custom(|m| {
+            if let NicDevice::SmartNic(s) = &mut m.nic {
+                s.nic.pu_reserved_per_endpoint = reserved;
+            }
         });
+        // Single-path zero-byte load: a path alone can only use the
+        // shared pool plus its own reserved units, so its peak is
+        // (total - reserved)/t — the reservation split is invisible
+        // to the concurrent total (always all units) but caps each
+        // path alone, which is what Figure 11 observes.
+        let run = || {
+            let sc = Scenario { server, ..micro() };
+            let a = StreamSpec::new(PathKind::Snic1, Verb::Read, 0, 8).with_window(16);
+            run_scenario(&sc, &[a]).streams[0].ops.as_mops()
+        };
+        eprintln!(
+            "[ablation pu_split={reserved}] SNIC(1) alone = {:.0} M reqs/s",
+            run()
+        );
+        b.run(&format!("ablation/pu_split/{reserved}"), run);
     }
-    g.finish();
 }
 
-fn ablation_reorder_buffer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/reorder_buffer");
+fn ablation_reorder_buffer(b: &Bench) {
     for slots in [36u64 << 10, 72 << 10, 144 << 10] {
-        g.bench_with_input(BenchmarkId::from_parameter(slots >> 10), &slots, |b, &s| {
-            let server = custom(|m| {
-                if let NicDevice::SmartNic(sp) = &mut m.nic {
-                    sp.nic.reorder_tlp_slots = s;
-                }
-            });
-            // 8 MB READ to the SoC: collapsed iff 8 MB exceeds
-            // slots * 128 B.
-            let run = || {
-                let sc = Scenario {
-                    server,
-                    warmup: Nanos::from_millis(8),
-                    duration: Nanos::from_millis(40),
-                    ..Scenario::default()
-                };
-                let spec = StreamSpec::new(PathKind::Snic2, Verb::Read, 8 << 20, 2)
-                    .with_threads(2)
-                    .with_window(2);
-                run_scenario(&sc, &[spec]).streams[0].goodput.as_gbps()
-            };
-            eprintln!(
-                "[ablation reorder_slots={}K] 8MB SoC READ = {:.0} Gbps",
-                s >> 10,
-                run()
-            );
-            b.iter(run)
+        let server = custom(|m| {
+            if let NicDevice::SmartNic(sp) = &mut m.nic {
+                sp.nic.reorder_tlp_slots = slots;
+            }
         });
+        // 8 MB READ to the SoC: collapsed iff 8 MB exceeds
+        // slots * 128 B.
+        let run = || {
+            let sc = Scenario {
+                server,
+                warmup: Nanos::from_millis(8),
+                duration: Nanos::from_millis(40),
+                ..Scenario::default()
+            };
+            let spec = StreamSpec::new(PathKind::Snic2, Verb::Read, 8 << 20, 2)
+                .with_threads(2)
+                .with_window(2);
+            run_scenario(&sc, &[spec]).streams[0].goodput.as_gbps()
+        };
+        eprintln!(
+            "[ablation reorder_slots={}K] 8MB SoC READ = {:.0} Gbps",
+            slots >> 10,
+            run()
+        );
+        b.run(&format!("ablation/reorder_buffer/{}K", slots >> 10), run);
     }
-    g.finish();
 }
 
-fn ablation_ddio(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/ddio");
+fn ablation_ddio(b: &Bench) {
     for ddio in [true, false] {
-        g.bench_with_input(BenchmarkId::from_parameter(ddio), &ddio, |b, &on| {
-            let server = custom(|m| m.host.ddio = on);
-            // Hot-line WRITEs to *host* memory (128 B range = one
-            // channel stripe): the LLC absorbs them under DDIO; without
-            // it they serialize on one DRAM channel's open row.
-            let run = || {
-                let sc = Scenario { server, ..micro() };
-                let spec = StreamSpec::new(PathKind::Snic1, Verb::Write, 64, 5).with_range(128);
-                run_scenario(&sc, &[spec]).streams[0].ops.as_mops()
-            };
-            eprintln!(
-                "[ablation ddio={on}] hot-line host WRITE = {:.0} M reqs/s",
-                run()
-            );
-            b.iter(run)
-        });
+        let server = custom(|m| m.host.ddio = ddio);
+        // Hot-line WRITEs to *host* memory (128 B range = one
+        // channel stripe): the LLC absorbs them under DDIO; without
+        // it they serialize on one DRAM channel's open row.
+        let run = || {
+            let sc = Scenario { server, ..micro() };
+            let spec = StreamSpec::new(PathKind::Snic1, Verb::Write, 64, 5).with_range(128);
+            run_scenario(&sc, &[spec]).streams[0].ops.as_mops()
+        };
+        eprintln!(
+            "[ablation ddio={ddio}] hot-line host WRITE = {:.0} M reqs/s",
+            run()
+        );
+        b.run(&format!("ablation/ddio/{ddio}"), run);
     }
-    g.finish();
 }
 
-fn ablation_soc_mtu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/soc_mtu");
+fn ablation_soc_mtu(b: &Bench) {
     for mtu in [128u64, 256, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(mtu), &mtu, |b, &m_| {
-            let server = custom(|m| {
-                if let NicDevice::SmartNic(s) = &mut m.nic {
-                    s.soc.pcie_mtu = m_;
-                }
-            });
-            // Large READ to the SoC: the collapse threshold scales
-            // with the MTU (slots * MTU).
-            let run = || {
-                let sc = Scenario {
-                    server,
-                    warmup: Nanos::from_millis(8),
-                    duration: Nanos::from_millis(40),
-                    ..Scenario::default()
-                };
-                let spec = StreamSpec::new(PathKind::Snic2, Verb::Read, 12 << 20, 2)
-                    .with_threads(2)
-                    .with_window(2);
-                run_scenario(&sc, &[spec]).streams[0].goodput.as_gbps()
-            };
-            eprintln!("[ablation soc_mtu={m_}] 12MB SoC READ = {:.0} Gbps", run());
-            b.iter(run)
+        let server = custom(|m| {
+            if let NicDevice::SmartNic(s) = &mut m.nic {
+                s.soc.pcie_mtu = mtu;
+            }
         });
+        // Large READ to the SoC: the collapse threshold scales
+        // with the MTU (slots * MTU).
+        let run = || {
+            let sc = Scenario {
+                server,
+                warmup: Nanos::from_millis(8),
+                duration: Nanos::from_millis(40),
+                ..Scenario::default()
+            };
+            let spec = StreamSpec::new(PathKind::Snic2, Verb::Read, 12 << 20, 2)
+                .with_threads(2)
+                .with_window(2);
+            run_scenario(&sc, &[spec]).streams[0].goodput.as_gbps()
+        };
+        eprintln!("[ablation soc_mtu={mtu}] 12MB SoC READ = {:.0} Gbps", run());
+        b.run(&format!("ablation/soc_mtu/{mtu}"), run);
     }
-    g.finish();
 }
 
-fn ablation_doorbell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/doorbell_batch");
+fn ablation_doorbell(b: &Bench) {
     let soc = PostCostModel::new(&MachineSpec::srv_with_bluefield(), PosterKind::SocCore);
     let host = PostCostModel::new(&MachineSpec::srv_with_bluefield(), PosterKind::HostCpu);
     for batch in [1u32, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &n| {
-            b.iter(|| {
-                let mode = if n == 1 {
-                    rdma_sim::PostMode::Mmio
-                } else {
-                    rdma_sim::PostMode::Doorbell(n)
-                };
-                soc.posting_rate_mops(mode) + host.posting_rate_mops(mode)
-            })
+        b.run(&format!("ablation/doorbell_batch/{batch}"), || {
+            let mode = if batch == 1 {
+                rdma_sim::PostMode::Mmio
+            } else {
+                rdma_sim::PostMode::Doorbell(batch)
+            };
+            soc.posting_rate_mops(mode) + host.posting_rate_mops(mode)
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = ablation_pu_split, ablation_reorder_buffer, ablation_ddio,
-        ablation_soc_mtu, ablation_doorbell
+fn main() {
+    let b = Bench::from_env(10);
+    ablation_pu_split(&b);
+    ablation_reorder_buffer(&b);
+    ablation_ddio(&b);
+    ablation_soc_mtu(&b);
+    ablation_doorbell(&b);
 }
-criterion_main!(benches);

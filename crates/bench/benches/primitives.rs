@@ -1,84 +1,76 @@
 //! Microbenchmarks of the simulator substrates: event engine, DRAM and
 //! LLC models, statistics, and the KV hash index.
+//!
+//! Runs on the in-tree harness (`snic_bench::timing`); tune with
+//! `BENCH_SAMPLES` / `BENCH_WARMUP`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use memsys::{MemOp, MemSystem};
 use simnet::engine::{Engine, Step};
 use simnet::rng::SimRng;
 use simnet::stats::Histogram;
 use simnet::time::Nanos;
+use snic_bench::timing::Bench;
 use snic_kvstore::index::HashIndex;
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine/schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut eng: Engine<u32> = Engine::new();
-            for i in 0..10_000u32 {
-                eng.schedule(Nanos::new((i as u64 * 37) % 5000), i).unwrap();
+fn bench_engine(b: &Bench) {
+    b.run("engine/schedule_pop_10k", || {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 0..10_000u32 {
+            eng.schedule(Nanos::new((i as u64 * 37) % 5000), i).unwrap();
+        }
+        let mut n = 0;
+        eng.run(|_, _, _| {
+            n += 1;
+            Step::Continue
+        });
+        n
+    });
+}
+
+fn bench_dram(b: &Bench) {
+    b.run_batched(
+        "memsys/soc_random_64b_x1k",
+        || (MemSystem::soc_like(), SimRng::seed(1)),
+        |(mut mem, mut rng)| {
+            let mut done = Nanos::ZERO;
+            for _ in 0..1000 {
+                let a = rng.addr_in_range(0, 1 << 20, 64);
+                done = done.max(mem.dma_access(Nanos::ZERO, a, 64, MemOp::Write));
             }
-            let mut n = 0;
-            eng.run(|_, _, _| {
-                n += 1;
-                Step::Continue
-            });
-            n
-        })
+            done
+        },
+    );
+    b.run_batched("memsys/host_stream_1mb", MemSystem::host_like, |mut mem| {
+        mem.dma_access(Nanos::ZERO, 0, 1 << 20, MemOp::Read)
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("memsys/soc_random_64b_x1k", |b| {
-        b.iter_batched(
-            || (MemSystem::soc_like(), SimRng::seed(1)),
-            |(mut mem, mut rng)| {
-                let mut done = Nanos::ZERO;
-                for _ in 0..1000 {
-                    let a = rng.addr_in_range(0, 1 << 20, 64);
-                    done = done.max(mem.dma_access(Nanos::ZERO, a, 64, MemOp::Write));
-                }
-                done
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("memsys/host_stream_1mb", |b| {
-        b.iter_batched(
-            MemSystem::host_like,
-            |mut mem| mem.dma_access(Nanos::ZERO, 0, 1 << 20, MemOp::Read),
-            BatchSize::SmallInput,
-        )
+fn bench_stats(b: &Bench) {
+    b.run("stats/histogram_record_10k", || {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(Nanos::new(1 + (i * 7919) % 100_000));
+        }
+        h.percentile(99.0)
     });
 }
 
-fn bench_stats(c: &mut Criterion) {
-    c.bench_function("stats/histogram_record_10k", |b| {
-        b.iter(|| {
-            let mut h = Histogram::new();
-            for i in 0..10_000u64 {
-                h.record(Nanos::new(1 + (i * 7919) % 100_000));
-            }
-            h.percentile(99.0)
-        })
-    });
-}
-
-fn bench_index(c: &mut Criterion) {
+fn bench_index(b: &Bench) {
     let mut idx = HashIndex::new(16 << 10, 0);
     for k in 0..40_000u64 {
         idx.insert(k, k * 64, 64).unwrap();
     }
-    c.bench_function("kvstore/index_lookup", |b| {
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 9973) % 40_000;
-            idx.lookup(k).unwrap().probes
-        })
+    let mut k = 0u64;
+    b.run("kvstore/index_lookup", || {
+        k = (k + 9973) % 40_000;
+        idx.lookup(k).unwrap().probes
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_engine, bench_dram, bench_stats, bench_index
+fn main() {
+    let b = Bench::from_env(20);
+    bench_engine(&b);
+    bench_dram(&b);
+    bench_stats(&b);
+    bench_index(&b);
 }
-criterion_main!(benches);

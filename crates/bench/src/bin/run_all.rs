@@ -27,17 +27,16 @@ fn main() {
         ("12_fig_discussion", e::discussion::run),
     ];
     let sink = TableSink::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (name, run) in &jobs {
             let sink = &sink;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for t in run(opts.quick) {
                     sink.push(name, t);
                 }
             });
         }
-    })
-    .expect("artifact worker panicked");
+    });
 
     // Emit grouped per artifact, in the fixed numbered order; strip the
     // ordering prefix from the CSV file names.

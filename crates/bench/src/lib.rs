@@ -2,17 +2,19 @@
 //!
 //! Each paper artifact has a binary (`src/bin/fig*.rs`, `table3_*.rs`)
 //! that prints the regenerated series as an aligned table and as CSV;
-//! `run_all` emits everything. Criterion benches (`benches/`) cover the
-//! simulator primitives, one point of each figure, and the ablations
-//! flagged in DESIGN.md §7.
+//! `run_all` emits everything. The in-tree [`timing`] benches
+//! (`benches/`) cover the simulator primitives, one point of each
+//! figure, and the ablations flagged in DESIGN.md §7.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use std::fs;
 use std::path::Path;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use snic_core::report::Table;
 
 /// Output directory for CSV files.
@@ -64,7 +66,7 @@ pub fn emit(prefix: &str, tables: &[Table], opts: Options) {
 }
 
 /// A thread-safe collector for tables produced by parallel experiment
-/// workers (crossbeam scopes in the figure binaries), preserving a
+/// workers (scoped threads in the figure binaries), preserving a
 /// deterministic (name, index) order on drain.
 #[derive(Default)]
 pub struct TableSink {
@@ -79,12 +81,20 @@ impl TableSink {
 
     /// Adds a table under an artifact name (callable from any thread).
     pub fn push(&self, name: &str, table: Table) {
-        self.inner.lock().push((name.to_string(), table));
+        self.inner
+            .lock()
+            .expect("no worker panics while holding the sink")
+            .push((name.to_string(), table));
     }
 
     /// Drains all tables sorted by (name, insertion order within name).
     pub fn drain_sorted(&self) -> Vec<(String, Table)> {
-        let mut v = std::mem::take(&mut *self.inner.lock());
+        let mut v = std::mem::take(
+            &mut *self
+                .inner
+                .lock()
+                .expect("no worker panics while holding the sink"),
+        );
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }

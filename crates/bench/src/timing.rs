@@ -1,0 +1,148 @@
+//! Minimal in-tree wall-clock benchmark harness.
+//!
+//! Replaces the external benchmark framework with ~100 dependency-free
+//! lines: each benchmark runs a warmup phase, then N timed iterations,
+//! and reports min/mean/p50/p99 per iteration. Optimization barriers use
+//! [`std::hint::black_box`] (re-exported as [`black_box`]).
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_SAMPLES=<n>` — timed iterations per benchmark (default set
+//!   per bench binary);
+//! * `BENCH_WARMUP=<n>`  — warmup iterations (default 3).
+//!
+//! Unlike the simulators, which are bit-for-bit deterministic, wall
+//! times are inherently noisy; the harness reports distribution summary
+//! statistics and leaves regression judgement to the reader.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// A benchmark runner: warmup + sample count configuration plus a
+/// uniform report format.
+#[derive(Debug, Clone, Copy)]
+pub struct Bench {
+    samples: usize,
+    warmup: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={v:?} is not a positive integer")),
+        Err(_) => default,
+    }
+}
+
+impl Bench {
+    /// A runner taking `default_samples` timed iterations per benchmark
+    /// (overridable with `BENCH_SAMPLES`) after `BENCH_WARMUP` (default
+    /// 3) warmup iterations.
+    pub fn from_env(default_samples: usize) -> Bench {
+        Bench {
+            samples: env_usize("BENCH_SAMPLES", default_samples).max(1),
+            warmup: env_usize("BENCH_WARMUP", 3),
+        }
+    }
+
+    /// Times `f`, printing a one-line summary keyed by `name`.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// compiler cannot elide the measured work.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        self.run_batched(name, || (), |()| f());
+    }
+
+    /// Like [`Bench::run`] but with a per-iteration `setup` whose cost
+    /// is excluded from the measurement (the former `iter_batched`).
+    pub fn run_batched<S, R>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        for _ in 0..self.warmup {
+            black_box(routine(setup()));
+        }
+        let mut ns: Vec<u64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        ns.sort_unstable();
+        let mean = ns.iter().sum::<u64>() as f64 / ns.len() as f64;
+        let pct =
+            |q: f64| ns[((q / 100.0 * (ns.len() - 1) as f64).round() as usize).min(ns.len() - 1)];
+        println!(
+            "{name:<44} min {:>10}  mean {:>10}  p50 {:>10}  p99 {:>10}  ({} samples)",
+            fmt_ns(ns[0]),
+            fmt_ns(mean as u64),
+            fmt_ns(pct(50.0)),
+            fmt_ns(pct(99.0)),
+            ns.len()
+        );
+    }
+}
+
+/// Formats a nanosecond duration with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let b = Bench {
+            samples: 5,
+            warmup: 1,
+        };
+        let mut calls = 0u32;
+        b.run("test/trivial", || {
+            calls += 1;
+            calls
+        });
+        // 1 warmup + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn batched_setup_runs_per_iteration() {
+        let b = Bench {
+            samples: 4,
+            warmup: 2,
+        };
+        let mut setups = 0u32;
+        b.run_batched(
+            "test/batched",
+            || {
+                setups += 1;
+            },
+            |()| 0u8,
+        );
+        assert_eq!(setups, 6);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

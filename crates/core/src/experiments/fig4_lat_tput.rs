@@ -14,22 +14,22 @@ use super::{scenario, small_payloads};
 /// Runs `f` over `payloads` on scoped worker threads, preserving order.
 ///
 /// Scenarios are independent deterministic simulations, so the sweep
-/// parallelizes embarrassingly; crossbeam's scoped threads let each row
-/// borrow the shared inputs without `'static` bounds.
+/// parallelizes embarrassingly; `std::thread::scope` lets each row
+/// borrow the shared inputs without `'static` bounds (and propagates
+/// any worker panic when the scope joins).
 fn par_rows<F>(payloads: &[u64], f: F) -> Vec<Vec<String>>
 where
     F: Fn(u64) -> Vec<String> + Sync,
 {
     let mut rows: Vec<Option<Vec<String>>> = vec![None; payloads.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, &p) in rows.iter_mut().zip(payloads.iter()) {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(f(p));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     rows.into_iter()
         .map(|r| r.expect("every payload produced a row"))
         .collect()

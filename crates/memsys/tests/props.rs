@@ -1,50 +1,65 @@
-//! Property-based tests of the memory-system invariants.
+//! Property-based tests of the memory-system invariants (in-tree
+//! `simnet::prop` harness; failures print a reproducing `PROP_SEED`).
 
 use memsys::{DramSim, DramSpec, LlcSim, LlcSpec, MemOp, MemSystem};
-use proptest::prelude::*;
+use simnet::prop::check;
 use simnet::time::Nanos;
+use simnet::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Every DRAM access completes after it arrives, and a later access
-    /// to the same address never completes before an earlier one.
-    #[test]
-    fn dram_causality(accesses in proptest::collection::vec((0u64..(1 << 24), 1u64..8192), 1..128)) {
+/// Every DRAM access completes after it arrives, and a later access
+/// to the same address never completes before an earlier one.
+#[test]
+fn dram_causality() {
+    check("dram_causality", |g| {
+        let accesses = g.vec(1..128, |g| (g.u64(0..(1 << 24)), g.u64(1..8192)));
         let mut sim = DramSim::new(DramSpec::soc_ddr4());
         for &(addr, bytes) in &accesses {
             let done = sim.access(Nanos::new(1000), addr & !63, bytes, MemOp::Read);
             prop_assert!(done > Nanos::new(1000));
         }
         prop_assert_eq!(sim.accesses(), accesses.len() as u64);
-    }
+        Ok(())
+    });
+}
 
-    /// Writes are never faster than reads at the same address/size (the
-    /// write-recovery penalty, paper refs [12,38]).
-    #[test]
-    fn writes_not_faster_than_reads(addr in 0u64..(1 << 20), bytes in 1u64..4096) {
-        let addr = addr & !63;
+/// Writes are never faster than reads at the same address/size (the
+/// write-recovery penalty, paper refs [12,38]).
+#[test]
+fn writes_not_faster_than_reads() {
+    check("writes_not_faster_than_reads", |g| {
+        let addr = g.u64(0..(1 << 20)) & !63;
+        let bytes = g.u64(1..4096);
         let mut r = DramSim::new(DramSpec::soc_ddr4());
         let mut w = DramSim::new(DramSpec::soc_ddr4());
         let tr = r.access(Nanos::ZERO, addr, bytes, MemOp::Read);
         let tw = w.access(Nanos::ZERO, addr, bytes, MemOp::Write);
         prop_assert!(tw >= tr, "write {tw} faster than read {tr}");
-    }
+        Ok(())
+    });
+}
 
-    /// LLC residency: a just-accessed line always probes resident (no
-    /// immediate self-eviction), and hit/miss counts add up.
-    #[test]
-    fn llc_recency(lines in proptest::collection::vec(0u64..4096, 1..256)) {
+/// LLC residency: a just-accessed line always probes resident (no
+/// immediate self-eviction), and hit/miss counts add up.
+#[test]
+fn llc_recency() {
+    check("llc_recency", |g| {
+        let lines = g.vec(1..256, |g| g.u64(0..4096));
         let mut llc = LlcSim::new(LlcSpec::xeon_like());
         for &l in &lines {
             llc.access(Nanos::ZERO, l * 64, 64);
             prop_assert!(llc.probe(l * 64, 64), "line {l} evicted immediately");
         }
         prop_assert_eq!(llc.hits() + llc.misses(), lines.len() as u64);
-    }
+        Ok(())
+    });
+}
 
-    /// DDIO toggling never changes correctness, only timing; writes
-    /// through either path complete.
-    #[test]
-    fn ddio_toggle_sound(addrs in proptest::collection::vec(0u64..(1 << 20), 1..64)) {
+/// DDIO toggling never changes correctness, only timing; writes
+/// through either path complete.
+#[test]
+fn ddio_toggle_sound() {
+    check("ddio_toggle_sound", |g| {
+        let addrs = g.vec(1..64, |g| g.u64(0..(1 << 20)));
         let mut with = MemSystem::host_like();
         let mut without = MemSystem::host_like();
         without.set_ddio(false);
@@ -54,12 +69,16 @@ proptest! {
             prop_assert!(t1 > Nanos::ZERO);
             prop_assert!(t2 > Nanos::ZERO);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Streaming a big block is at least as fast per byte as the same
-    /// bytes issued as separate line accesses (row locality).
-    #[test]
-    fn streaming_beats_scattered(kb in 1u64..256) {
+/// Streaming a big block is at least as fast per byte as the same
+/// bytes issued as separate line accesses (row locality).
+#[test]
+fn streaming_beats_scattered() {
+    check("streaming_beats_scattered", |g| {
+        let kb = g.u64(1..256);
         let bytes = kb << 10;
         let mut stream = DramSim::new(DramSpec::soc_ddr4());
         let t_stream = stream.access(Nanos::ZERO, 0, bytes, MemOp::Read);
@@ -68,6 +87,10 @@ proptest! {
         for i in 0..(bytes / 64) {
             t_scatter = t_scatter.max(scattered.access(Nanos::ZERO, i * 64, 64, MemOp::Read));
         }
-        prop_assert!(t_stream <= t_scatter, "stream {t_stream} slower than scattered {t_scatter}");
-    }
+        prop_assert!(
+            t_stream <= t_scatter,
+            "stream {t_stream} slower than scattered {t_scatter}"
+        );
+        Ok(())
+    });
 }

@@ -4,7 +4,12 @@
 //! small, fully deterministic discrete-event engine ([`engine::Engine`]),
 //! integer-nanosecond time ([`time::Nanos`]), resource-reservation
 //! primitives ([`resource`]) used to model hardware blocks, measurement
-//! collection ([`stats`]), and seeded randomness ([`rng`]).
+//! collection ([`stats`]), seeded randomness ([`rng`]), and a seeded
+//! property-testing harness ([`prop`]).
+//!
+//! The whole workspace is hermetic: this crate (and every crate above
+//! it) has **zero external dependencies**, so the build needs no
+//! registry and every bit of stochastic behaviour is in-tree.
 //!
 //! Design rules (see DESIGN.md §4):
 //!
@@ -17,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod prop;
 pub mod resource;
 pub mod rng;
 pub mod stats;

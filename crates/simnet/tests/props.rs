@@ -1,16 +1,19 @@
-//! Property-based tests of the simulation-engine invariants.
+//! Property-based tests of the simulation-engine invariants (in-tree
+//! `simnet::prop` harness; failures print a reproducing `PROP_SEED`).
 
-use proptest::prelude::*;
 use simnet::engine::{Engine, Step};
+use simnet::prop::check;
 use simnet::resource::{Dir, DuplexPipe, Pipe};
 use simnet::rng::SimRng;
 use simnet::time::{Bandwidth, Nanos, Rate};
+use simnet::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Events always pop in non-decreasing time order, whatever the
-    /// scheduling order.
-    #[test]
-    fn engine_pops_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..512)) {
+/// Events always pop in non-decreasing time order, whatever the
+/// scheduling order.
+#[test]
+fn engine_pops_in_time_order() {
+    check("engine_pops_in_time_order", |g| {
+        let times = g.vec(1..512, |g| g.u64(0..1_000_000));
         let mut eng: Engine<usize> = Engine::new();
         for (i, &t) in times.iter().enumerate() {
             eng.schedule(Nanos::new(t), i).unwrap();
@@ -20,11 +23,16 @@ proptest! {
             prop_assert!(t >= last);
             last = t;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Same-instant events preserve scheduling (FIFO) order.
-    #[test]
-    fn engine_fifo_at_same_instant(n in 1usize..256, t in 0u64..1000) {
+/// Same-instant events preserve scheduling (FIFO) order.
+#[test]
+fn engine_fifo_at_same_instant() {
+    check("engine_fifo_at_same_instant", |g| {
+        let n = g.usize(1..256);
+        let t = g.u64(0..1000);
         let mut eng: Engine<usize> = Engine::new();
         for i in 0..n {
             eng.schedule(Nanos::new(t), i).unwrap();
@@ -36,12 +44,16 @@ proptest! {
             Step::Continue
         });
         prop_assert_eq!(expect, n);
-    }
+        Ok(())
+    });
+}
 
-    /// A pipe conserves work: total busy time equals the sum of service
-    /// times, and utilization never exceeds 1 over the busy horizon.
-    #[test]
-    fn pipe_work_conservation(transfers in proptest::collection::vec((1u64..100_000, 0u64..10_000), 1..128)) {
+/// A pipe conserves work: total busy time equals the sum of service
+/// times, and utilization never exceeds 1 over the busy horizon.
+#[test]
+fn pipe_work_conservation() {
+    check("pipe_work_conservation", |g| {
+        let transfers = g.vec(1..128, |g| (g.u64(1..100_000), g.u64(0..10_000)));
         let mut p = Pipe::new(Bandwidth::gigabytes_per_sec(1.0));
         let mut expected_busy = Nanos::ZERO;
         let mut last_finish = Nanos::ZERO;
@@ -54,11 +66,15 @@ proptest! {
         }
         prop_assert_eq!(p.busy_time(), expected_busy);
         prop_assert!(p.busy_time() <= last_finish);
-    }
+        Ok(())
+    });
+}
 
-    /// Duplex directions are fully independent.
-    #[test]
-    fn duplex_independence(n in 1usize..64) {
+/// Duplex directions are fully independent.
+#[test]
+fn duplex_independence() {
+    check("duplex_independence", |g| {
+        let n = g.usize(1..64);
         let mut d = DuplexPipe::new(Bandwidth::gigabytes_per_sec(1.0));
         for _ in 0..n {
             d.reserve(Dir::Fwd, Nanos::ZERO, 1000, 1);
@@ -66,31 +82,46 @@ proptest! {
         // The reverse direction is still immediate.
         let r = d.reserve(Dir::Rev, Nanos::ZERO, 1000, 1);
         prop_assert_eq!(r.start, Nanos::ZERO);
-    }
+        Ok(())
+    });
+}
 
-    /// Bandwidth/time round trip: transferring N bytes at B bytes/ns
-    /// takes N/B ns within rounding.
-    #[test]
-    fn bandwidth_round_trip(bytes in 1u64..(1 << 30), gbps in 1u64..1000) {
+/// Bandwidth/time round trip: transferring N bytes at B bytes/ns
+/// takes N/B ns within rounding.
+#[test]
+fn bandwidth_round_trip() {
+    check("bandwidth_round_trip", |g| {
+        let bytes = g.u64(1..(1 << 30));
+        let gbps = g.u64(1..1000);
         let bw = Bandwidth::gbps(gbps as f64);
         let t = bw.transfer_time(bytes);
-        let ideal = bytes as f64 * 8.0 / (gbps as f64) ; // ns
+        let ideal = bytes as f64 * 8.0 / (gbps as f64); // ns
         prop_assert!((t.as_nanos() as f64 - ideal).abs() <= ideal * 0.01 + 1.0);
-    }
+        Ok(())
+    });
+}
 
-    /// Rate service time is inverse-linear in the rate.
-    #[test]
-    fn rate_linearity(n in 1u64..1_000_000, mops in 1u64..500) {
+/// Rate service time is inverse-linear in the rate.
+#[test]
+fn rate_linearity() {
+    check("rate_linearity", |g| {
+        let n = g.u64(1..1_000_000);
+        let mops = g.u64(1..500);
         let r = Rate::mops(mops as f64);
         let t1 = r.service_time(n);
         let t2 = r.service_time(2 * n);
         let ratio = t2.as_nanos() as f64 / t1.as_nanos() as f64;
         prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
-    }
+        Ok(())
+    });
+}
 
-    /// Seeded RNG streams are reproducible and respect bounds.
-    #[test]
-    fn rng_bounds_and_determinism(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// Seeded RNG streams are reproducible and respect bounds.
+#[test]
+fn rng_bounds_and_determinism() {
+    check("rng_bounds_and_determinism", |g| {
+        let seed = g.any_u64();
+        let bound = g.u64(1..1_000_000);
         let mut a = SimRng::seed(seed);
         let mut b = SimRng::seed(seed);
         for _ in 0..32 {
@@ -99,5 +130,6 @@ proptest! {
             prop_assert_eq!(va, vb);
             prop_assert!(va < bound);
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: hermetic build + tests + formatting.
+#
+# --offline is load-bearing, not an optimization: the workspace has a
+# zero-external-dependency policy (see the root Cargo.toml and
+# DESIGN.md), and running cargo with the network forbidden proves no PR
+# can reintroduce a registry dependency — resolution itself would fail
+# right here before a single test runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --workspace --offline
+cargo fmt --check
+
+echo "ci.sh: build + tests + fmt all green (offline)"

@@ -2,8 +2,10 @@
 //! results across the harness, the KV store and the figure pipelines.
 
 use offpath_smartnic::nicsim::{PathKind, Verb};
+use offpath_smartnic::simnet::rng::SimRng;
 use offpath_smartnic::simnet::time::Nanos;
-use offpath_smartnic::study::harness::{run_scenario, Scenario, StreamSpec};
+use offpath_smartnic::study::harness::{run_scenario, Scenario, ScenarioResult, StreamSpec};
+use offpath_smartnic::study::report::Table;
 
 fn quick(seed: u64) -> Scenario {
     Scenario {
@@ -31,6 +33,79 @@ fn scenario_bit_identical_across_runs() {
         assert_eq!(x.goodput.as_bytes_per_sec(), y.goodput.as_bytes_per_sec());
     }
     assert_eq!(a.counters.total_tlps(), b.counters.total_tlps());
+}
+
+/// Renders a scenario result exactly as the figure binaries do (a
+/// [`Table`] serialized to CSV), down to every formatted digit.
+fn result_csv(r: &ScenarioResult) -> String {
+    let mut t = Table::new(
+        "determinism probe",
+        &["stream", "mops", "p50_ns", "p99_ns", "goodput_bps", "tlps"],
+    );
+    for s in &r.streams {
+        t.push(vec![
+            s.label.clone(),
+            format!("{}", s.ops.as_per_sec()),
+            format!("{}", s.latency.p50.as_nanos()),
+            format!("{}", s.latency.p99.as_nanos()),
+            format!("{}", s.goodput.as_bytes_per_sec()),
+            format!("{}", r.counters.total_tlps()),
+        ]);
+    }
+    t.to_csv()
+}
+
+#[test]
+fn scenario_csv_byte_identical_across_runs() {
+    // Same seed => the *serialized artifact* (not just summary floats)
+    // is byte-for-byte identical across two full pipeline invocations.
+    let spec = || {
+        vec![
+            StreamSpec::new(PathKind::Snic1, Verb::Read, 256, 5),
+            StreamSpec::new(PathKind::Snic2, Verb::Write, 64, 5).with_range(1 << 16),
+        ]
+    };
+    let a = result_csv(&run_scenario(&quick(21), &spec()));
+    let b = result_csv(&run_scenario(&quick(21), &spec()));
+    assert!(!a.is_empty() && a.lines().count() >= 4);
+    assert_eq!(
+        a.as_bytes(),
+        b.as_bytes(),
+        "CSV output diverged:\n{a}\nvs\n{b}"
+    );
+}
+
+#[test]
+fn fork_children_independent_of_parent() {
+    // A forked child owns private state re-expanded from its derived
+    // seed: however much the parent keeps drawing, the child's stream
+    // is unchanged (and vice versa). This is what makes per-thread RNGs
+    // in the harness insensitive to stream-creation order.
+    let mut p1 = SimRng::seed(4242);
+    let mut c1 = p1.fork(7);
+    let undisturbed: Vec<u64> = (0..128).map(|_| c1.uniform_u64(1 << 40)).collect();
+
+    let mut p2 = SimRng::seed(4242);
+    let mut c2 = p2.fork(7);
+    let mut interleaved = Vec::new();
+    let mut parent_draws = Vec::new();
+    for _ in 0..128 {
+        parent_draws.push(p2.uniform_u64(1 << 40)); // parent races ahead
+        interleaved.push(c2.uniform_u64(1 << 40));
+    }
+    assert_eq!(undisturbed, interleaved, "parent draws perturbed the child");
+    assert_ne!(
+        undisturbed, parent_draws,
+        "child stream must not mirror the parent's"
+    );
+
+    // Distinct salts at the same fork point give distinct streams.
+    let mut root = SimRng::seed(4242);
+    let mut k1 = root.fork(1);
+    let mut k2 = root.fork(2);
+    let s1: Vec<u64> = (0..64).map(|_| k1.uniform_u64(1 << 40)).collect();
+    let s2: Vec<u64> = (0..64).map(|_| k2.uniform_u64(1 << 40)).collect();
+    assert_ne!(s1, s2, "sibling forks must be decorrelated");
 }
 
 #[test]

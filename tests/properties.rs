@@ -1,24 +1,23 @@
-//! Property-based tests of cross-stack invariants (proptest).
+//! Property-based tests of cross-stack invariants (in-tree
+//! `simnet::prop` harness; failures print a reproducing `PROP_SEED`).
 
 use offpath_smartnic::nicsim::{Fabric, PathKind, RequestDesc, Verb};
 use offpath_smartnic::pcie::tlp::{tlp_count, TlpBudget};
+use offpath_smartnic::simnet::prop::check;
 use offpath_smartnic::simnet::resource::{MultiServer, Server};
 use offpath_smartnic::simnet::stats::Histogram;
 use offpath_smartnic::simnet::time::Nanos;
-use proptest::prelude::*;
+use offpath_smartnic::simnet::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Completions never precede posts, and milestones stay ordered, for
-    /// any verb/path/payload combination.
-    #[test]
-    fn fabric_milestones_ordered(
-        verb_i in 0usize..3,
-        path_i in 0usize..5,
-        payload in 0u64..(1 << 20),
-        posted_us in 0u64..1000,
-    ) {
-        let verb = Verb::ALL[verb_i];
-        let path = PathKind::ALL[path_i];
+/// Completions never precede posts, and milestones stay ordered, for
+/// any verb/path/payload combination.
+#[test]
+fn fabric_milestones_ordered() {
+    check("fabric_milestones_ordered", |g| {
+        let verb = Verb::ALL[g.usize(0..3)];
+        let path = PathKind::ALL[g.usize(0..5)];
+        let payload = g.u64(0..(1 << 20));
+        let posted_us = g.u64(0..1000);
         let mut f = if path == PathKind::Rnic1 {
             Fabric::rnic_testbed(1)
         } else {
@@ -30,12 +29,17 @@ proptest! {
         );
         prop_assert!(c.posted <= c.nic_start);
         prop_assert!(c.nic_start <= c.completed);
-    }
+        Ok(())
+    });
+}
 
-    /// Request latency is monotone in payload for one-sided verbs on an
-    /// otherwise idle fabric.
-    #[test]
-    fn latency_monotone_in_payload(small in 1u64..(1 << 16), factor in 2u64..16) {
+/// Request latency is monotone in payload for one-sided verbs on an
+/// otherwise idle fabric.
+#[test]
+fn latency_monotone_in_payload() {
+    check("latency_monotone_in_payload", |g| {
+        let small = g.u64(1..(1 << 16));
+        let factor = g.u64(2..16);
         let large = small * factor;
         let mut f1 = Fabric::bluefield_testbed(1);
         let c_small = f1.execute(
@@ -48,30 +52,43 @@ proptest! {
             RequestDesc::new(Verb::Read, PathKind::Snic1, large, 0, 0),
         );
         prop_assert!(c_large.latency() >= c_small.latency());
-    }
+        Ok(())
+    });
+}
 
-    /// TLP counts: splitting a transfer never reduces the packet count,
-    /// and counts are exact for multiples.
-    #[test]
-    fn tlp_count_superadditive(a in 1u64..(1 << 22), b in 1u64..(1 << 22), mtu_pow in 7u32..13) {
-        let mtu = 1u64 << mtu_pow;
+/// TLP counts: splitting a transfer never reduces the packet count,
+/// and counts are exact for multiples.
+#[test]
+fn tlp_count_superadditive() {
+    check("tlp_count_superadditive", |g| {
+        let a = g.u64(1..(1 << 22));
+        let b = g.u64(1..(1 << 22));
+        let mtu = 1u64 << g.u32(7..13);
         prop_assert!(tlp_count(a, mtu) + tlp_count(b, mtu) >= tlp_count(a + b, mtu));
         prop_assert_eq!(tlp_count(a * mtu, mtu), a);
-    }
+        Ok(())
+    });
+}
 
-    /// A DMA read budget always has as many completions as a write of
-    /// the same size has data TLPs.
-    #[test]
-    fn read_write_budget_symmetry(bytes in 0u64..(1 << 24)) {
+/// A DMA read budget always has as many completions as a write of
+/// the same size has data TLPs.
+#[test]
+fn read_write_budget_symmetry() {
+    check("read_write_budget_symmetry", |g| {
+        let bytes = g.u64(0..(1 << 24));
         let w = TlpBudget::dma_write(bytes, 512);
         let r = TlpBudget::dma_read(bytes, 512, 512);
         prop_assert_eq!(w.towards_endpoint, r.from_endpoint);
-    }
+        Ok(())
+    });
+}
 
-    /// FIFO servers never start a request before its arrival and never
-    /// overlap service.
-    #[test]
-    fn server_reservations_are_disjoint(arrivals in proptest::collection::vec(0u64..10_000, 1..64)) {
+/// FIFO servers never start a request before its arrival and never
+/// overlap service.
+#[test]
+fn server_reservations_are_disjoint() {
+    check("server_reservations_are_disjoint", |g| {
+        let arrivals = g.vec(1..64, |g| g.u64(0..10_000));
         let mut s = Server::new();
         let mut last_finish = Nanos::ZERO;
         for a in arrivals {
@@ -80,11 +97,16 @@ proptest! {
             prop_assert!(r.start >= last_finish);
             last_finish = r.finish;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A k-unit pool admits at most k overlapping reservations.
-    #[test]
-    fn multiserver_parallelism_bounded(k in 1usize..8, n in 1usize..64) {
+/// A k-unit pool admits at most k overlapping reservations.
+#[test]
+fn multiserver_parallelism_bounded() {
+    check("multiserver_parallelism_bounded", |g| {
+        let k = g.usize(1..8);
+        let n = g.usize(1..64);
         let mut m = MultiServer::new(k);
         let service = Nanos::new(100);
         let mut finishes: Vec<Nanos> = Vec::new();
@@ -98,11 +120,15 @@ proptest! {
             let wave = (i / k + 1) as u64;
             prop_assert_eq!(f.as_nanos(), wave * 100);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Histogram percentiles are monotone and bounded by min/max.
-    #[test]
-    fn histogram_percentiles_monotone(values in proptest::collection::vec(1u64..1_000_000, 1..256)) {
+/// Histogram percentiles are monotone and bounded by min/max.
+#[test]
+fn histogram_percentiles_monotone() {
+    check("histogram_percentiles_monotone", |g| {
+        let values = g.vec(1..256, |g| g.u64(1..1_000_000));
         let mut h = Histogram::new();
         for &v in &values {
             h.record(Nanos::new(v));
@@ -113,12 +139,16 @@ proptest! {
         prop_assert!(p(90.0) <= p(99.9));
         prop_assert!(p(0.0) >= h.min());
         prop_assert!(p(100.0) <= h.max());
-    }
+        Ok(())
+    });
+}
 
-    /// KV index: any insertion set round-trips, whatever the key set.
-    #[test]
-    fn kv_index_roundtrip(keys in proptest::collection::hash_set(0u64..1_000_000, 1..256)) {
+/// KV index: any insertion set round-trips, whatever the key set.
+#[test]
+fn kv_index_roundtrip() {
+    check("kv_index_roundtrip", |g| {
         use offpath_smartnic::kvstore::HashIndex;
+        let keys = g.hash_set_u64(0..1_000_000, 1..256);
         let mut idx = HashIndex::new(512, 0);
         let mut inserted = Vec::new();
         for (i, &k) in keys.iter().enumerate() {
@@ -131,5 +161,6 @@ proptest! {
             prop_assert!(l.is_ok(), "lost key {k}");
             prop_assert_eq!(l.unwrap().entry.value_addr, addr);
         }
-    }
+        Ok(())
+    });
 }

@@ -15,6 +15,7 @@ fn main() {
         ("00_fig_motivation", e::motivation::run),
         ("01_fig1_kvstore", |q| vec![snic_kvstore::fig1_table(q)]),
         ("02_fig3_breakdown", e::fig3_breakdown::run),
+        ("02b_breakdown_measured", e::fig3_breakdown::run_measured),
         ("03_fig4_lat_tput", e::fig4_lat_tput::run),
         ("04_fig5_flows", e::fig5_flows::run),
         ("05_fig7_skew", e::fig7_skew::run),
@@ -39,14 +40,16 @@ fn main() {
     });
 
     // Emit grouped per artifact, in the fixed numbered order; strip the
-    // ordering prefix from the CSV file names.
-    let drained = sink.drain_sorted();
+    // ordering prefix from the CSV file names. Group in one pass and move
+    // the tables out rather than re-scanning (and cloning) the full
+    // drained list once per job.
+    let mut by_name: std::collections::HashMap<String, Vec<Table>> =
+        std::collections::HashMap::new();
+    for (name, table) in sink.drain_sorted() {
+        by_name.entry(name).or_default().push(table);
+    }
     for (name, _) in &jobs {
-        let tables: Vec<Table> = drained
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, t)| t.clone())
-            .collect();
+        let tables = by_name.remove(*name).unwrap_or_default();
         let clean = name.split_once('_').map_or(*name, |(_, rest)| rest);
         snic_bench::emit(clean, &tables, opts);
     }

@@ -7,9 +7,11 @@
 //! component by component, and the total cross-checks the simulator.
 
 use nicsim::{PathKind, Verb};
+use simnet::metrics::Hop as SpanHop;
 use topology::{ClusterSpec, SmartNicSpec};
 
-use crate::harness::measure_latency;
+use crate::harness::{measure_breakdown, measure_latency};
+use crate::model::LatencyModel;
 use crate::report::{fmt_f, Table};
 
 /// One hop of the latency budget.
@@ -166,6 +168,61 @@ pub fn run(_quick: bool) -> Vec<Table> {
         out.push(t);
     }
     out
+}
+
+/// The (path, verb, payload) grid the measured breakdown covers: every
+/// communication path, both one-sided verbs, small and medium payloads.
+pub fn fig3_grid(quick: bool) -> Vec<(PathKind, Verb, u64)> {
+    let paths = [
+        PathKind::Rnic1,
+        PathKind::Snic1,
+        PathKind::Snic2,
+        PathKind::Snic3H2S,
+        PathKind::Snic3S2H,
+    ];
+    let sizes: &[u64] = if quick { &[64] } else { &[64, 1024] };
+    let mut out = Vec::new();
+    for &path in &paths {
+        for verb in [Verb::Read, Verb::Write] {
+            for &payload in sizes {
+                out.push((path, verb, payload));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the *measured* Figure 3 breakdown: per-hop mean residencies from
+/// the simulator's span accounting, one row per (path, verb, size) grid
+/// point, reconciled against the end-to-end mean and the analytic model.
+pub fn run_measured(quick: bool) -> Vec<Table> {
+    let model = LatencyModel::paper_testbed();
+    let mut headers: Vec<&str> = vec!["path", "verb", "bytes", "count"];
+    headers.extend(SpanHop::ALL.iter().map(|h| h.label()));
+    headers.extend(["hops_total_ns", "e2e_mean_ns", "model_ns"]);
+    let mut t = Table::new(
+        "Fig 3 (measured): per-hop mean residency [ns] from span accounting",
+        &headers,
+    );
+    for (path, verb, payload) in fig3_grid(quick) {
+        let bd = measure_breakdown(path, verb, payload);
+        let mut row = vec![
+            path.label().to_string(),
+            verb.label().to_string(),
+            payload.to_string(),
+            bd.count.to_string(),
+        ];
+        row.extend(
+            SpanHop::ALL
+                .iter()
+                .map(|&h| bd.mean(h).as_nanos().to_string()),
+        );
+        row.push(bd.mean_total().as_nanos().to_string());
+        row.push(bd.e2e_mean().as_nanos().to_string());
+        row.push(fmt_f(model.predict(path, verb, payload).as_nanos() as f64));
+        t.push(row);
+    }
+    vec![t]
 }
 
 #[cfg(test)]

@@ -14,9 +14,11 @@ use nicsim::{Fabric, PathKind, RequestDesc, Verb};
 use pcie_model::counters::{LinkId, PcieCounters};
 use rdma_sim::doorbell::{PostCostModel, PostMode, PosterKind};
 use simnet::engine::{Engine, Step};
+use simnet::metrics::{CounterId, Hop, HopBreakdown, Registry};
 use simnet::rng::SimRng;
 use simnet::stats::{Histogram, LatencySummary, RateMeter};
 use simnet::time::{Bandwidth, Nanos, Rate};
+use simnet::trace::{TraceCat, TraceRing};
 
 /// Which responder machine a scenario runs against.
 // `Custom` embeds a full MachineSpec (~500 B); scenarios are built a
@@ -163,6 +165,13 @@ pub struct Scenario {
     pub duration: Nanos,
     /// PRNG seed.
     pub seed: u64,
+    /// Enable the metrics registry and per-request hop attribution
+    /// (off by default: the hot path then pays one branch per record
+    /// site and [`ScenarioResult::breakdown`] stays empty).
+    pub metrics: bool,
+    /// Capacity of the scenario trace ring; `0` (the default) disables
+    /// tracing entirely.
+    pub trace_cap: usize,
 }
 
 impl Default for Scenario {
@@ -173,6 +182,8 @@ impl Default for Scenario {
             warmup: Nanos::from_micros(200),
             duration: Nanos::from_millis(2),
             seed: 42,
+            metrics: false,
+            trace_cap: 0,
         }
     }
 }
@@ -194,6 +205,18 @@ impl Scenario {
             ..Self::default()
         }
     }
+
+    /// Turns on the metrics registry and per-hop attribution.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Sets the trace-ring capacity (0 disables tracing).
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap;
+        self
+    }
 }
 
 /// Per-stream measurement outcome.
@@ -209,6 +232,57 @@ pub struct StreamResult {
     pub goodput: Bandwidth,
 }
 
+/// Measured per-hop latency attribution of one stream, aggregated over
+/// every request completing inside the measurement window.
+///
+/// Residencies come from the simulator's span accounting (see
+/// `simnet::metrics`), so for each request they sum *exactly* to its
+/// end-to-end latency — [`MeasuredBreakdown::mean_total`] and
+/// [`MeasuredBreakdown::e2e_mean`] reconcile by construction.
+#[derive(Debug, Clone)]
+pub struct MeasuredBreakdown {
+    /// The stream's label.
+    pub label: String,
+    /// Communication path.
+    pub path: PathKind,
+    /// Verb.
+    pub verb: Verb,
+    /// Payload bytes.
+    pub payload: u64,
+    /// Requests aggregated.
+    pub count: u64,
+    /// Summed per-hop residencies.
+    pub residency: HopBreakdown,
+    /// Summed end-to-end latencies.
+    pub e2e_total: Nanos,
+}
+
+impl MeasuredBreakdown {
+    /// Mean residency on one hop.
+    pub fn mean(&self, hop: Hop) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        Nanos::new(self.residency.get(hop).as_nanos() / self.count)
+    }
+
+    /// Mean of the per-request hop sums.
+    pub fn mean_total(&self) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        Nanos::new(self.residency.total().as_nanos() / self.count)
+    }
+
+    /// Mean end-to-end latency of the same requests.
+    pub fn e2e_mean(&self) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        Nanos::new(self.e2e_total.as_nanos() / self.count)
+    }
+}
+
 /// Whole-scenario outcome.
 #[derive(Debug, Clone)]
 pub struct ScenarioResult {
@@ -218,6 +292,14 @@ pub struct ScenarioResult {
     pub counters: PcieCounters,
     /// Measurement window length.
     pub window: Nanos,
+    /// Per-stream measured hop attribution (empty unless
+    /// [`Scenario::metrics`] was set).
+    pub breakdown: Vec<MeasuredBreakdown>,
+    /// Metrics registry over the measurement window (empty unless
+    /// [`Scenario::metrics`] was set).
+    pub metrics: Registry,
+    /// Scenario trace ring (disabled unless [`Scenario::trace_cap`] > 0).
+    pub trace: TraceRing,
 }
 
 impl ScenarioResult {
@@ -286,6 +368,9 @@ struct StreamState {
     hist: Histogram,
     meter: RateMeter,
     pace: Nanos,
+    bd_sum: HopBreakdown,
+    bd_count: u64,
+    e2e_sum: Nanos,
 }
 
 #[derive(Clone, Copy)]
@@ -353,10 +438,32 @@ pub fn run_scenario_detailed(
                 hist: Histogram::new(),
                 meter: RateMeter::new(),
                 pace,
+                bd_sum: HopBreakdown::new(),
+                bd_count: 0,
+                e2e_sum: Nanos::ZERO,
                 spec: spec.clone(),
             }
         })
         .collect();
+
+    // Metrics registry and trace ring (no-ops unless opted in).
+    let metrics_on = scenario.metrics;
+    fabric.set_metrics(metrics_on);
+    let mut registry = Registry::new();
+    let c_posted = registry.counter("requests_posted");
+    let c_completed = registry.counter("requests_completed");
+    let c_deferred = registry.counter("posts_deferred");
+    let c_late = registry.counter("completions_past_horizon");
+    let h_other = registry.histogram("attribution_other_ns");
+    let post_ctrs: Vec<CounterId> = states
+        .iter()
+        .map(|st| registry.counter(&format!("posted_{}", st.spec.post_mode.label())))
+        .collect();
+    let mut trace = if scenario.trace_cap > 0 {
+        TraceRing::new(scenario.trace_cap)
+    } else {
+        TraceRing::disabled()
+    };
 
     let horizon = scenario.duration;
     let mut eng: Engine<Ev> = Engine::new();
@@ -382,7 +489,9 @@ pub fn run_scenario_detailed(
                    now: Nanos,
                    ev: Ev,
                    fabric: &mut Fabric,
-                   states: &mut Vec<StreamState>| {
+                   states: &mut Vec<StreamState>,
+                   registry: &mut Registry,
+                   trace: &mut TraceRing| {
         let st = &mut states[ev.stream];
         let spec = &st.spec;
         let th = &mut st.threads[ev.thread];
@@ -392,6 +501,9 @@ pub fn run_scenario_detailed(
         // later-posted-but-earlier requests of other threads.
         let earliest = th.cpu_free.max(th.next_allowed);
         if earliest > now {
+            if metrics_on {
+                registry.inc(c_deferred);
+            }
             eng.schedule(earliest, ev)
                 .expect("deferred post is in the future");
             return;
@@ -413,7 +525,31 @@ pub fn run_scenario_detailed(
             0
         };
         let req = RequestDesc::new(spec.verb, spec.path, spec.payload, addr, client);
-        let c = fabric.execute(posted, req);
+        let (c, bd) = if metrics_on {
+            let (c, bd) = fabric.execute_attributed(posted, req);
+            registry.inc(c_posted);
+            registry.inc(post_ctrs[ev.stream]);
+            (c, Some(bd))
+        } else {
+            (fabric.execute(posted, req), None)
+        };
+        if trace.is_enabled() {
+            trace.record(
+                posted,
+                TraceCat::Post,
+                format!("s{} t{}", ev.stream, ev.thread),
+            );
+            trace.record(
+                c.completed,
+                TraceCat::Complete,
+                format!(
+                    "s{} t{} lat={}",
+                    ev.stream,
+                    ev.thread,
+                    c.latency().as_nanos()
+                ),
+            );
+        }
         // Only completions inside the fixed measurement window count:
         // completions past the horizon belong to terminal backlog and
         // would bias the rate (their posts are matched by pre-window
@@ -421,6 +557,15 @@ pub fn run_scenario_detailed(
         if c.completed <= horizon {
             st.hist.record(c.latency());
             st.meter.record(c.completed, spec.payload);
+            if let Some(bd) = bd {
+                st.bd_sum.merge(&bd);
+                st.bd_count += 1;
+                st.e2e_sum += c.latency();
+                registry.inc(c_completed);
+                registry.observe(h_other, bd.get(Hop::Other));
+            }
+        } else if metrics_on {
+            registry.inc(c_late);
         }
         eng.schedule(
             c.completed.max(now),
@@ -434,23 +579,59 @@ pub fn run_scenario_detailed(
 
     // Warmup phase.
     eng.run_until(scenario.warmup, |eng, now, ev| {
-        handler(eng, now, ev, &mut fabric, &mut states);
+        handler(
+            eng,
+            now,
+            ev,
+            &mut fabric,
+            &mut states,
+            &mut registry,
+            &mut trace,
+        );
         Step::Continue
     });
     // Reset meters and counters; measure.
     for st in &mut states {
         st.hist = Histogram::new();
         st.meter.open_window(scenario.warmup);
+        st.bd_sum = HopBreakdown::new();
+        st.bd_count = 0;
+        st.e2e_sum = Nanos::ZERO;
     }
+    registry.reset_values();
     let snap = fabric.server.counters().snapshot();
     eng.run_until(scenario.duration, |eng, now, ev| {
-        handler(eng, now, ev, &mut fabric, &mut states);
+        handler(
+            eng,
+            now,
+            ev,
+            &mut fabric,
+            &mut states,
+            &mut registry,
+            &mut trace,
+        );
         Step::Continue
     });
 
     let counters = fabric.server.counters().delta_since(&snap);
     let window = scenario.duration - scenario.warmup;
     let wsecs = window.as_secs_f64();
+    let breakdown = if metrics_on {
+        states
+            .iter()
+            .map(|st| MeasuredBreakdown {
+                label: st.spec.label.clone(),
+                path: st.spec.path,
+                verb: st.spec.verb,
+                payload: st.spec.payload,
+                count: st.bd_count,
+                residency: st.bd_sum,
+                e2e_total: st.e2e_sum,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let result = ScenarioResult {
         streams: states
             .iter()
@@ -463,6 +644,9 @@ pub fn run_scenario_detailed(
             .collect(),
         counters,
         window,
+        breakdown,
+        metrics: registry,
+        trace,
     };
     (result, fabric)
 }
@@ -484,6 +668,26 @@ pub fn measure_latency(path: PathKind, verb: Verb, payload: u64) -> StreamResult
         ..StreamSpec::new(path, verb, payload, 1)
     };
     run_scenario(&scenario, &[spec]).streams.remove(0)
+}
+
+/// Convenience: measure one stream's per-hop latency attribution with
+/// the paper's latency methodology (1 client, window 1, 1 thread) and
+/// metrics enabled.
+pub fn measure_breakdown(path: PathKind, verb: Verb, payload: u64) -> MeasuredBreakdown {
+    let scenario = Scenario {
+        server: if path == PathKind::Rnic1 {
+            ServerKind::Rnic
+        } else {
+            ServerKind::Bluefield
+        },
+        ..Scenario::latency().with_metrics()
+    };
+    let spec = StreamSpec {
+        threads_per_client: 1,
+        window: 1,
+        ..StreamSpec::new(path, verb, payload, 1)
+    };
+    run_scenario(&scenario, &[spec]).breakdown.remove(0)
 }
 
 /// Convenience: measure one stream's peak throughput with the paper's

@@ -131,6 +131,24 @@ impl MemSystem {
         self.dram.access(now, addr, bytes, op)
     }
 
+    /// Like [`MemSystem::dma_access`], but also records the access as a
+    /// [`simnet::metrics::Hop::Memory`] residency span into `spans` (a
+    /// no-op when the span set is disabled). The span covers arrival to
+    /// completion, so bank conflicts and queueing inside the memory
+    /// system are charged to memory, not to the surrounding PCIe legs.
+    pub fn dma_access_spanned(
+        &mut self,
+        now: Nanos,
+        addr: u64,
+        bytes: u64,
+        op: MemOp,
+        spans: &mut simnet::metrics::SpanSet,
+    ) -> Nanos {
+        let done = self.dma_access(now, addr, bytes, op);
+        spans.record(simnet::metrics::Hop::Memory, now, done);
+        done
+    }
+
     /// A CPU-side access (used by the CPU core models for app logic).
     pub fn cpu_access(&mut self, now: Nanos, addr: u64, bytes: u64, op: MemOp) -> Nanos {
         if let Some(llc) = self.llc.as_mut() {

@@ -5,6 +5,7 @@
 //! generation on top of this lives in `snic-core::harness`.
 
 use memsys::MemOp;
+use simnet::metrics::{Hop, HopBreakdown};
 use simnet::resource::Dir;
 use simnet::time::Nanos;
 use topology::{ClusterSpec, MachineSpec, WireSpec};
@@ -77,6 +78,33 @@ impl Fabric {
         &self.wire
     }
 
+    /// Enables or disables per-request latency attribution. Off by
+    /// default; when off every span record is a single-branch no-op.
+    pub fn set_metrics(&mut self, on: bool) {
+        self.server.spans_mut().set_enabled(on);
+    }
+
+    /// Whether per-request attribution is recording.
+    pub fn metrics_enabled(&self) -> bool {
+        self.server.spans().is_enabled()
+    }
+
+    /// Like [`Fabric::execute`], but also attributes the request's
+    /// end-to-end latency across hops (see `simnet::metrics`). The
+    /// returned breakdown's total equals `completed - posted` exactly.
+    ///
+    /// Requires metrics to be enabled via [`Fabric::set_metrics`];
+    /// otherwise the whole window is charged to [`Hop::Other`].
+    pub fn execute_attributed(
+        &mut self,
+        posted: Nanos,
+        req: RequestDesc,
+    ) -> (Completion, HopBreakdown) {
+        let c = self.execute(posted, req);
+        let bd = self.server.spans().attribute(c.posted, c.completed);
+        (c, bd)
+    }
+
     /// Executes an RPC exchange posted at `posted`.
     ///
     /// # Panics
@@ -85,6 +113,7 @@ impl Fabric {
     /// SmartNIC the server lacks.
     pub fn execute_rpc(&mut self, posted: Nanos, op: RpcOp) -> Completion {
         assert!(op.path.is_remote(), "RPCs originate at client machines");
+        self.server.spans_mut().clear();
         let ep = op.path.responder();
         let client = self
             .clients
@@ -99,6 +128,10 @@ impl Fabric {
             wire_bytes(op.request_bytes),
             wire_frames(op.request_bytes),
         );
+        let sp = self.server.spans_mut();
+        sp.record(Hop::Post, posted, nic_seen);
+        sp.record(Hop::ClientNic, nic_seen, depart);
+        sp.record(Hop::Wire, depart, win.finish.max(arrive));
         let pu = self.server.reserve_pu(win.start, ep);
         let nic_start = pu.start;
         let pu_out = pipeline_out(&pu);
@@ -148,6 +181,9 @@ impl Fabric {
             .expect("client index out of range");
         let mut completed = client.complete(back, op.response_bytes);
         completed = completed.max(wout.finish + self.wire.one_way_latency);
+        let sp = self.server.spans_mut();
+        sp.record(Hop::Wire, wout.start, wout.finish.max(back));
+        sp.record(Hop::Completion, back, completed);
         Completion {
             posted,
             nic_start,
@@ -166,6 +202,8 @@ impl Fabric {
             !req.path.on_smartnic() || self.server.smartnic().is_some(),
             "SmartNIC path on an RNIC machine"
         );
+        // Attribution is per request: drop the previous request's spans.
+        self.server.spans_mut().clear();
         if req.path.is_remote() {
             self.execute_remote(posted, req)
         } else {
@@ -199,10 +237,17 @@ impl Fabric {
             wire_bytes(outbound),
             wire_frames(outbound),
         );
+        let sp = self.server.spans_mut();
+        sp.record(Hop::Post, posted, nic_seen);
+        sp.record(Hop::ClientNic, nic_seen, depart);
+        sp.record(Hop::Wire, depart, win.finish.max(arrive));
 
         // Responder NIC processing.
         let pu = self.server.reserve_pu(win.start, ep);
         let nic_start = pu.start;
+        self.server
+            .spans_mut()
+            .record(Hop::NicPu, pu.start, pu.finish);
 
         // DMA leg starts as soon as the PU pipeline emits the parsed
         // request (the unit stays occupied for its full service time).
@@ -239,6 +284,9 @@ impl Fabric {
             .expect("client index out of range");
         let mut completed = client.complete(back, inbound);
         completed = completed.max(wout.finish + self.wire.one_way_latency);
+        let sp = self.server.spans_mut();
+        sp.record(Hop::Wire, wout.start, wout.finish.max(back));
+        sp.record(Hop::Completion, back, completed);
 
         Completion {
             posted,
@@ -258,6 +306,9 @@ impl Fabric {
         let nic_seen = posted + self.server.mmio_transit(requester);
         let pu = self.server.reserve_pu(nic_seen, responder);
         let nic_start = pu.start;
+        let sp = self.server.spans_mut();
+        sp.record(Hop::Post, posted, nic_seen);
+        sp.record(Hop::NicPu, pu.start, pu.finish);
 
         let pu_out = pipeline_out(&pu);
         let done = match req.verb {
@@ -308,6 +359,9 @@ impl Fabric {
 
         // CQE back to the requester's memory (one access-latency hop).
         let completed = done + self.server.access_latency(requester);
+        self.server
+            .spans_mut()
+            .record(Hop::Completion, done, completed);
         Completion {
             posted,
             nic_start,
@@ -448,5 +502,58 @@ mod tests {
         let mut f = Fabric::bluefield_testbed(1);
         f.execute(Nanos::ZERO, req(Verb::Read, PathKind::Snic1, 0));
         assert_eq!(f.server.counters().total_tlps(), 0);
+    }
+
+    #[test]
+    fn attribution_total_equals_latency_for_every_path_and_verb() {
+        let mut f = Fabric::bluefield_testbed(1);
+        f.set_metrics(true);
+        let mut at = Nanos::from_micros(10);
+        for verb in Verb::ALL {
+            for path in PathKind::ALL {
+                if path == PathKind::Rnic1 {
+                    continue;
+                }
+                let (c, bd) = f.execute_attributed(at, req(verb, path, 256));
+                assert_eq!(
+                    bd.total(),
+                    c.latency(),
+                    "{verb:?} {path:?}: attribution must conserve time"
+                );
+                at += Nanos::from_micros(50);
+            }
+        }
+    }
+
+    #[test]
+    fn attribution_switch_hop_only_on_smartnic() {
+        let mut r = Fabric::rnic_testbed(1);
+        r.set_metrics(true);
+        let (_, bd) = r.execute_attributed(Nanos::ZERO, req(Verb::Read, PathKind::Rnic1, 64));
+        assert_eq!(bd.get(Hop::Switch), Nanos::ZERO);
+        assert_eq!(bd.get(Hop::Pcie1), Nanos::ZERO);
+        assert!(bd.get(Hop::Pcie0) > Nanos::ZERO);
+
+        let mut s = Fabric::bluefield_testbed(1);
+        s.set_metrics(true);
+        let (_, bd) = s.execute_attributed(Nanos::ZERO, req(Verb::Read, PathKind::Snic1, 64));
+        assert!(bd.get(Hop::Switch) > Nanos::ZERO, "{bd:?}");
+        assert!(bd.get(Hop::Pcie1) > Nanos::ZERO, "{bd:?}");
+        let (_, bd) = s.execute_attributed(Nanos::ZERO, req(Verb::Read, PathKind::Snic2, 64));
+        assert!(bd.get(Hop::SocAttach) > Nanos::ZERO, "{bd:?}");
+        assert_eq!(bd.get(Hop::Pcie0), Nanos::ZERO, "{bd:?}");
+    }
+
+    #[test]
+    fn metrics_disabled_records_no_spans() {
+        let mut f = Fabric::bluefield_testbed(1);
+        assert!(!f.metrics_enabled());
+        f.execute(Nanos::ZERO, req(Verb::Read, PathKind::Snic1, 64));
+        assert!(f.server.spans().is_empty());
+        let (c, bd) =
+            f.execute_attributed(Nanos::from_micros(50), req(Verb::Read, PathKind::Snic1, 64));
+        // Without spans the whole window falls to Other — still exact.
+        assert_eq!(bd.get(Hop::Other), c.latency());
+        assert_eq!(bd.total(), c.latency());
     }
 }

@@ -18,6 +18,7 @@ use memsys::{MemOp, MemSystem};
 use pcie_model::counters::{CountDir, LinkId, PcieCounters};
 use pcie_model::link::TLP_OVERHEAD_BYTES;
 use pcie_model::tlp;
+use simnet::metrics::{Hop, SpanSet};
 use simnet::resource::{Dir, DuplexPipe, MultiServer, Reservation};
 use simnet::time::{Bandwidth, Nanos};
 use topology::{MachineSpec, NicDevice, NicSpec, SmartNicSpec};
@@ -100,6 +101,9 @@ pub struct ServerMachine {
     soc_cpu: Option<MultiServer>,
 
     counters: PcieCounters,
+    /// Residency spans of the request currently in flight (disabled by
+    /// default; the fabric enables it and clears it per request).
+    spans: SpanSet,
 }
 
 impl ServerMachine {
@@ -136,6 +140,7 @@ impl ServerMachine {
             host_cpu: MultiServer::new(spec.host.cpu.cores as usize),
             soc_cpu: smart.map(|s| MultiServer::new(s.soc.cores as usize)),
             counters: PcieCounters::new(),
+            spans: SpanSet::disabled(),
             smart,
             spec,
         }
@@ -159,6 +164,17 @@ impl ServerMachine {
     /// The PCIe hardware counters.
     pub fn counters(&self) -> &PcieCounters {
         &self.counters
+    }
+
+    /// The per-request latency-attribution span collector.
+    pub fn spans(&self) -> &SpanSet {
+        &self.spans
+    }
+
+    /// Mutable access to the span collector (the fabric records
+    /// request-level hops and clears it between requests).
+    pub fn spans_mut(&mut self) -> &mut SpanSet {
+        &mut self.spans
     }
 
     /// Resource-utilization snapshot over `[0, horizon]`: (shared PUs,
@@ -337,9 +353,12 @@ impl ServerMachine {
             let res = self.hold_dma_ctx(start, busy, op);
             // If all contexts were busy, the whole operation is shifted
             // by the wait for a free context.
+            let wait = res.wait(start);
+            self.spans
+                .record(Hop::DmaEngine, data_ready, data_ready + wait);
             DmaLeg {
                 start,
-                data_ready: data_ready + res.wait(start),
+                data_ready: data_ready + wait,
             }
         } else {
             DmaLeg { start, data_ready }
@@ -358,9 +377,18 @@ impl ServerMachine {
                 self.counters
                     .count(LinkId::Pcie0, CountDir::Down, tlps, bytes);
                 let r = self.pcie0.reserve(Dir::Fwd, start, wire_bytes, tlps);
-                let mem_done =
-                    self.host_mem
-                        .dma_access(r.start + oneway, addr, bytes, MemOp::Write);
+                self.spans.record(
+                    LinkId::Pcie0.hop(),
+                    r.start,
+                    (r.start + oneway).max(r.finish),
+                );
+                let mem_done = self.host_mem.dma_access_spanned(
+                    r.start + oneway,
+                    addr,
+                    bytes,
+                    MemOp::Write,
+                    &mut self.spans,
+                );
                 mem_done.max(r.finish + oneway)
             }
             (true, Endpoint::Host) => {
@@ -378,14 +406,27 @@ impl ServerMachine {
                 // Cut-through: PCIe0 starts once the head arrives at the
                 // switch.
                 let hop = s.pcie1_hop_latency + s.switch.crossing_latency;
+                self.spans.record(
+                    LinkId::Pcie1.hop(),
+                    p1.start,
+                    p1.finish.max(p1.start + s.pcie1_hop_latency),
+                );
+                self.spans
+                    .record(Hop::Switch, p1.start + s.pcie1_hop_latency, p1.start + hop);
                 let p0 = self
                     .pcie0
                     .reserve(Dir::Fwd, p1.start + hop, wire_bytes, tlps);
                 let mem_arrive =
                     p0.start + self.spec.host.pcie_latency + self.spec.host.root_complex_latency;
-                let mem_done = self
-                    .host_mem
-                    .dma_access(mem_arrive, addr, bytes, MemOp::Write);
+                self.spans
+                    .record(LinkId::Pcie0.hop(), p0.start, p0.finish.max(mem_arrive));
+                let mem_done = self.host_mem.dma_access_spanned(
+                    mem_arrive,
+                    addr,
+                    bytes,
+                    MemOp::Write,
+                    &mut self.spans,
+                );
                 mem_done.max(p0.finish).max(p1.finish)
             }
             (true, Endpoint::Soc) => {
@@ -401,6 +442,13 @@ impl ServerMachine {
                     tlps,
                 );
                 let hop = s.pcie1_hop_latency + s.switch.crossing_latency;
+                self.spans.record(
+                    LinkId::Pcie1.hop(),
+                    p1.start,
+                    p1.finish.max(p1.start + s.pcie1_hop_latency),
+                );
+                self.spans
+                    .record(Hop::Switch, p1.start + s.pcie1_hop_latency, p1.start + hop);
                 let at = self.attach.as_mut().expect("smartnic has attach").reserve(
                     Dir::Fwd,
                     p1.start + hop,
@@ -408,11 +456,13 @@ impl ServerMachine {
                     tlps,
                 );
                 let mem_arrive = at.start + s.soc.attach_latency;
+                self.spans
+                    .record(LinkId::SocAttach.hop(), at.start, at.finish.max(mem_arrive));
                 let mem_done = self
                     .soc_mem
                     .as_mut()
                     .expect("smartnic has soc mem")
-                    .dma_access(mem_arrive, addr, bytes, MemOp::Write);
+                    .dma_access_spanned(mem_arrive, addr, bytes, MemOp::Write, &mut self.spans);
                 mem_done.max(at.finish).max(p1.finish)
             }
             (false, Endpoint::Soc) => panic!("RNIC machine has no SoC endpoint"),
@@ -443,16 +493,25 @@ impl ServerMachine {
                     .count(LinkId::Pcie0, CountDir::Down, req_tlps, 0);
                 self.counters
                     .count(LinkId::Pcie0, CountDir::Up, cpl_tlps, bytes);
-                self.pcie0
+                let rq = self
+                    .pcie0
                     .reserve(Dir::Fwd, start, req_tlps * CTRL_TLP_BYTES, req_tlps);
-                let mem_done = self
-                    .host_mem
-                    .dma_access(mem_arrive, addr, bytes, MemOp::Read);
+                self.spans
+                    .record(LinkId::Pcie0.hop(), rq.start, mem_arrive.max(rq.finish));
+                let mem_done = self.host_mem.dma_access_spanned(
+                    mem_arrive,
+                    addr,
+                    bytes,
+                    MemOp::Read,
+                    &mut self.spans,
+                );
                 let r = self
                     .pcie0
                     .reserve(Dir::Rev, first_data, cpl_bytes, cpl_tlps);
                 let tail = oneway.saturating_sub(self.spec.host.root_complex_latency);
-                r.finish.max(mem_done) + tail
+                let done = r.finish.max(mem_done) + tail;
+                self.spans.record(LinkId::Pcie0.hop(), r.start, done);
+                done
             }
             (true, Endpoint::Host) => {
                 let s = *self.smart.as_ref().expect("smart checked");
@@ -464,26 +523,48 @@ impl ServerMachine {
                     .count(LinkId::Pcie0, CountDir::Up, cpl_tlps, bytes);
                 self.counters
                     .count(LinkId::Pcie1, CountDir::Up, cpl_tlps, bytes);
-                self.pcie1.as_mut().expect("smartnic has pcie1").reserve(
+                let rq = self.pcie1.as_mut().expect("smartnic has pcie1").reserve(
                     Dir::Fwd,
                     start,
                     req_tlps * CTRL_TLP_BYTES,
                     req_tlps,
                 );
-                let mem_done = self
-                    .host_mem
-                    .dma_access(mem_arrive, addr, bytes, MemOp::Read);
+                let hop = s.switch.crossing_latency + s.pcie1_hop_latency;
+                self.spans.record(
+                    LinkId::Pcie1.hop(),
+                    rq.start,
+                    rq.finish.max(rq.start + s.pcie1_hop_latency),
+                );
+                self.spans
+                    .record(Hop::Switch, rq.start + s.pcie1_hop_latency, rq.start + hop);
+                self.spans
+                    .record(LinkId::Pcie0.hop(), rq.start + hop, mem_arrive);
+                let mem_done = self.host_mem.dma_access_spanned(
+                    mem_arrive,
+                    addr,
+                    bytes,
+                    MemOp::Read,
+                    &mut self.spans,
+                );
                 let p0 = self
                     .pcie0
                     .reserve(Dir::Rev, first_data, cpl_bytes, cpl_tlps);
-                let hop = s.switch.crossing_latency + s.pcie1_hop_latency;
+                self.spans
+                    .record(LinkId::Pcie0.hop(), p0.start, p0.finish.max(mem_done));
+                self.spans.record(
+                    Hop::Switch,
+                    p0.finish.max(mem_done),
+                    p0.finish.max(mem_done) + s.switch.crossing_latency,
+                );
                 let p1 = self.pcie1.as_mut().expect("smartnic has pcie1").reserve(
                     Dir::Rev,
                     p0.start + hop,
                     cpl_bytes,
                     cpl_tlps,
                 );
-                p1.finish.max(p0.finish + hop).max(mem_done + hop)
+                let done = p1.finish.max(p0.finish + hop).max(mem_done + hop);
+                self.spans.record(LinkId::Pcie1.hop(), p1.start, done);
+                done
             }
             (true, Endpoint::Soc) => {
                 let s = *self.smart.as_ref().expect("smart checked");
@@ -495,31 +576,49 @@ impl ServerMachine {
                     .count(LinkId::SocAttach, CountDir::Up, cpl_tlps, bytes);
                 self.counters
                     .count(LinkId::Pcie1, CountDir::Up, cpl_tlps, bytes);
-                self.pcie1.as_mut().expect("smartnic has pcie1").reserve(
+                let rq = self.pcie1.as_mut().expect("smartnic has pcie1").reserve(
                     Dir::Fwd,
                     start,
                     req_tlps * CTRL_TLP_BYTES,
                     req_tlps,
                 );
+                let hop = s.switch.crossing_latency + s.pcie1_hop_latency;
+                self.spans.record(
+                    LinkId::Pcie1.hop(),
+                    rq.start,
+                    rq.finish.max(rq.start + s.pcie1_hop_latency),
+                );
+                self.spans
+                    .record(Hop::Switch, rq.start + s.pcie1_hop_latency, rq.start + hop);
+                self.spans
+                    .record(LinkId::SocAttach.hop(), rq.start + hop, mem_arrive);
                 let mem_done = self
                     .soc_mem
                     .as_mut()
                     .expect("smartnic has soc mem")
-                    .dma_access(mem_arrive, addr, bytes, MemOp::Read);
+                    .dma_access_spanned(mem_arrive, addr, bytes, MemOp::Read, &mut self.spans);
                 let at = self.attach.as_mut().expect("smartnic has attach").reserve(
                     Dir::Rev,
                     first_data,
                     cpl_bytes,
                     cpl_tlps,
                 );
-                let hop = s.switch.crossing_latency + s.pcie1_hop_latency;
+                self.spans
+                    .record(LinkId::SocAttach.hop(), at.start, at.finish.max(mem_done));
+                self.spans.record(
+                    Hop::Switch,
+                    at.finish.max(mem_done),
+                    at.finish.max(mem_done) + s.switch.crossing_latency,
+                );
                 let p1 = self.pcie1.as_mut().expect("smartnic has pcie1").reserve(
                     Dir::Rev,
                     at.start + hop,
                     cpl_bytes,
                     cpl_tlps,
                 );
-                p1.finish.max(at.finish + hop).max(mem_done + hop)
+                let done = p1.finish.max(at.finish + hop).max(mem_done + hop);
+                self.spans.record(LinkId::Pcie1.hop(), p1.start, done);
+                done
             }
             (false, Endpoint::Soc) => panic!("RNIC machine has no SoC endpoint"),
         };
@@ -536,6 +635,8 @@ impl ServerMachine {
             );
             let tag_time = tag_bw.transfer_time(bytes);
             let res = self.tag_engine.reserve(start, tag_time);
+            self.spans
+                .record(Hop::DmaEngine, res.start, res.finish + rtt);
             return ready.max(res.finish + rtt);
         }
         ready
@@ -610,6 +711,7 @@ impl ServerMachine {
                 + p1.fwd
                     .service_time(bytes + out_tlps * TLP_OVERHEAD_BYTES, out_tlps);
             let res = self.fwd_engine.reserve(start, occupancy);
+            self.spans.record(Hop::DmaEngine, res.start, res.finish);
             write.data_ready.max(res.finish)
         };
         // One read-engine context spans the composite; it is held for
@@ -620,16 +722,19 @@ impl ServerMachine {
             + self.access_latency(dst)
             + xfer * 2;
         let res = self.hold_dma_ctx(start, busy, MemOp::Read);
+        let wait = res.wait(start);
+        self.spans
+            .record(Hop::DmaEngine, data_ready, data_ready + wait);
         DmaLeg {
             start,
-            data_ready: data_ready + res.wait(start),
+            data_ready: data_ready + wait,
         }
     }
 
     /// Reserves a responder CPU core (host or SoC) for two-sided message
     /// handling; returns (completion time, extra latency already folded).
     pub fn handle_message(&mut self, arrival: Nanos, ep: Endpoint) -> Nanos {
-        match ep {
+        let done = match ep {
             Endpoint::Host => {
                 let t = self.spec.host.cpu.msg_handle_time;
                 self.host_cpu.reserve(arrival, t).finish
@@ -645,7 +750,9 @@ impl ServerMachine {
                     .finish
                     + extra
             }
-        }
+        };
+        self.spans.record(Hop::Cpu, arrival, done);
+        done
     }
 }
 

@@ -41,6 +41,18 @@ impl LinkId {
             LinkId::SocAttach => "SoC-attach",
         }
     }
+
+    /// The latency-attribution hop charged for residency on this link
+    /// (see `simnet::metrics`): components that reserve a link record
+    /// their span under this category.
+    pub fn hop(self) -> simnet::metrics::Hop {
+        match self {
+            LinkId::Pcie1 => simnet::metrics::Hop::Pcie1,
+            LinkId::Pcie0 => simnet::metrics::Hop::Pcie0,
+            LinkId::ClientPcie => simnet::metrics::Hop::ClientNic,
+            LinkId::SocAttach => simnet::metrics::Hop::SocAttach,
+        }
+    }
 }
 
 /// Direction of a counted transfer relative to the link.

@@ -42,6 +42,17 @@ pub enum PostMode {
     Doorbell(u32),
 }
 
+impl PostMode {
+    /// Stable short label used for metric names (batch size elided so a
+    /// sweep over batch sizes shares one counter).
+    pub fn label(self) -> &'static str {
+        match self {
+            PostMode::Mmio => "mmio",
+            PostMode::Doorbell(_) => "doorbell",
+        }
+    }
+}
+
 /// Who is posting: determines MMIO and WQE-fetch costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PosterKind {

@@ -4,7 +4,8 @@
 //! small, fully deterministic discrete-event engine ([`engine::Engine`]),
 //! integer-nanosecond time ([`time::Nanos`]), resource-reservation
 //! primitives ([`resource`]) used to model hardware blocks, measurement
-//! collection ([`stats`]), seeded randomness ([`rng`]), and a seeded
+//! collection ([`stats`]), a metrics registry and per-request latency
+//! attribution ([`metrics`]), seeded randomness ([`rng`]), and a seeded
 //! property-testing harness ([`prop`]).
 //!
 //! The whole workspace is hermetic: this crate (and every crate above
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod metrics;
 pub mod prop;
 pub mod resource;
 pub mod rng;
@@ -30,6 +32,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, Step};
+pub use metrics::{CounterId, HistogramId, Hop, HopBreakdown, Registry, SpanSet};
 pub use resource::{Dir, DuplexPipe, MultiServer, Pipe, Reservation, Server};
 pub use rng::SimRng;
 pub use stats::{Histogram, LatencySummary, RateMeter};

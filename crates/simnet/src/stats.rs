@@ -43,6 +43,19 @@ impl Default for Histogram {
     }
 }
 
+// Manual impl: the bucket vector is noise, and the raw `min`/`max`
+// fields hold sentinels when empty — print the guarded accessors.
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -111,9 +124,13 @@ impl Histogram {
         }
     }
 
-    /// Largest recorded sample.
+    /// Largest recorded sample (zero when empty).
     pub fn max(&self) -> Nanos {
-        Nanos::new(self.max)
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos::new(self.max)
+        }
     }
 
     /// The value at percentile `p` in `[0, 100]` (zero when empty).
@@ -137,8 +154,13 @@ impl Histogram {
         Nanos::new(self.max)
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Merging an empty side is
+    /// a no-op: the sentinel-initialized `min`/`max` fields of an empty
+    /// histogram never contaminate the populated one.
     pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += *b;
         }
@@ -319,6 +341,47 @@ mod tests {
         assert_eq!(h.mean(), Nanos::ZERO);
         assert_eq!(h.percentile(50.0), Nanos::ZERO);
         assert_eq!(h.min(), Nanos::ZERO);
+        assert_eq!(h.max(), Nanos::ZERO);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, Nanos::ZERO);
+        assert_eq!(s.max, Nanos::ZERO);
+        assert_eq!(s.mean, Nanos::ZERO);
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_sentinel_safe() {
+        // Populated <- empty: values unchanged.
+        let mut a = Histogram::new();
+        a.record(Nanos::new(100));
+        a.record(Nanos::new(300));
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Nanos::new(100));
+        assert_eq!(a.max(), Nanos::new(300));
+        assert_eq!(a.mean(), Nanos::new(200));
+
+        // Empty <- populated: adopts the other's extrema.
+        let mut b = Histogram::new();
+        b.merge(&a);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.min(), Nanos::new(100));
+        assert_eq!(b.max(), Nanos::new(300));
+
+        // Empty <- empty: still reports zeroes, not sentinels.
+        let mut c = Histogram::new();
+        c.merge(&Histogram::new());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.min(), Nanos::ZERO);
+        assert_eq!(c.max(), Nanos::ZERO);
+        assert_eq!(c.summary().max, Nanos::ZERO);
+    }
+
+    #[test]
+    fn debug_prints_guarded_accessors() {
+        let text = format!("{:?}", Histogram::new());
+        assert!(text.contains("count: 0"), "{text}");
+        assert!(!text.contains(&u64::MAX.to_string()), "{text}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use simnet::engine::{Engine, Step};
 use simnet::prop::check;
 use simnet::resource::{Dir, DuplexPipe, Pipe};
 use simnet::rng::SimRng;
+use simnet::stats::Histogram;
 use simnet::time::{Bandwidth, Nanos, Rate};
 use simnet::{prop_assert, prop_assert_eq};
 
@@ -112,6 +113,43 @@ fn rate_linearity() {
         let t2 = r.service_time(2 * n);
         let ratio = t2.as_nanos() as f64 / t1.as_nanos() as f64;
         prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        Ok(())
+    });
+}
+
+/// Histogram percentiles track the exact sorted-vector percentile from
+/// below: the log-bucketed value is the lower bucket edge (clamped to
+/// the observed `[min, max]`), so it never exceeds the exact value and
+/// undershoots by at most one sub-bucket width (`exact/32`, plus one
+/// nanosecond of integer-division slack).
+#[test]
+fn histogram_percentile_tracks_exact() {
+    check("histogram_percentile_tracks_exact", |g| {
+        // Mix magnitudes so both the exact (<32 ns) and log-bucketed
+        // regimes are exercised in one distribution.
+        let samples = g.vec(1..512, |g| {
+            let exp = g.u32(0..40);
+            g.u64(0..(1u64 << exp).max(2))
+        });
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Nanos::new(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let p = g.u64(0..1001) as f64 / 10.0;
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let exact = sorted[(rank - 1) as usize];
+        let approx = h.percentile(p).as_nanos();
+        prop_assert!(
+            approx <= exact,
+            "p{p}: approx {approx} above exact {exact} (n={n})"
+        );
+        prop_assert!(
+            exact - approx <= exact / 32 + 1,
+            "p{p}: approx {approx} too far below exact {exact} (n={n})"
+        );
         Ok(())
     });
 }

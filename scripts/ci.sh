@@ -12,5 +12,6 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --workspace --offline
 cargo fmt --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "ci.sh: build + tests + fmt all green (offline)"
+echo "ci.sh: build + tests + fmt + clippy all green (offline)"

@@ -1,0 +1,149 @@
+//! Tier-1 reconciliation of the measured per-hop latency attribution:
+//! span-accounted residencies must sum to the simulated end-to-end
+//! latency exactly, track the analytic Figure 3 model, and respect the
+//! path topology (no switch hops on the RNIC baseline, no host PCIe on
+//! the SoC-memory path).
+
+use offpath_smartnic::nicsim::{PathKind, Verb};
+use offpath_smartnic::simnet::metrics::Hop;
+use offpath_smartnic::simnet::time::Nanos;
+use offpath_smartnic::study::experiments::fig3_breakdown::fig3_grid;
+use offpath_smartnic::study::harness::{measure_breakdown, run_scenario, Scenario, StreamSpec};
+use offpath_smartnic::study::model::LatencyModel;
+
+/// For every (path, verb, size) point of the Figure 3 grid, the measured
+/// per-hop residencies reconcile with the end-to-end mean latency. The
+/// sweep attribution conserves time per request, so the sums are equal
+/// *exactly* — far inside the 1% acceptance band.
+#[test]
+fn measured_hops_reconcile_with_e2e() {
+    for (path, verb, payload) in fig3_grid(false) {
+        let bd = measure_breakdown(path, verb, payload);
+        assert!(
+            bd.count > 100,
+            "{path:?} {verb:?} {payload}B: too few samples ({})",
+            bd.count
+        );
+        assert_eq!(
+            bd.residency.total(),
+            bd.e2e_total,
+            "{path:?} {verb:?} {payload}B: hop sum {} != e2e sum {}",
+            bd.residency.total(),
+            bd.e2e_total
+        );
+        let sum = bd.mean_total().as_nanos() as f64;
+        let e2e = bd.e2e_mean().as_nanos() as f64;
+        assert!(
+            (sum - e2e).abs() / e2e < 0.01,
+            "{path:?} {verb:?} {payload}B: mean hop sum {sum} vs e2e {e2e}"
+        );
+    }
+}
+
+/// The measured end-to-end mean also tracks the analytic Figure 3 hop-sum
+/// model at every grid point (the model is a first-order hop budget, so
+/// the band is loose but two-sided).
+#[test]
+fn measured_breakdown_tracks_analytic_model() {
+    let model = LatencyModel::paper_testbed();
+    for (path, verb, payload) in fig3_grid(false) {
+        let bd = measure_breakdown(path, verb, payload);
+        let predicted = model.predict(path, verb, payload).as_nanos() as f64;
+        let measured = bd.e2e_mean().as_nanos() as f64;
+        let err = (predicted - measured).abs() / measured;
+        assert!(
+            err < 0.35,
+            "{path:?} {verb:?} {payload}B: model {predicted} vs measured {measured} \
+             ({:.0}% off)",
+            err * 100.0
+        );
+    }
+}
+
+/// Hop residencies respect the path topology: the RNIC baseline never
+/// crosses the SmartNIC switch, SNIC(1) pays PCIe1 + switch + host PCIe0,
+/// and SNIC(2) lands in SoC memory without touching PCIe0.
+#[test]
+fn hop_structure_matches_topology() {
+    let rnic = measure_breakdown(PathKind::Rnic1, Verb::Read, 64);
+    assert_eq!(rnic.residency.get(Hop::Switch), Nanos::ZERO);
+    assert_eq!(rnic.residency.get(Hop::Pcie1), Nanos::ZERO);
+    assert!(rnic.residency.get(Hop::Pcie0) > Nanos::ZERO);
+    assert!(rnic.residency.get(Hop::Memory) > Nanos::ZERO);
+
+    let snic1 = measure_breakdown(PathKind::Snic1, Verb::Read, 64);
+    assert!(snic1.residency.get(Hop::Switch) > Nanos::ZERO);
+    assert!(snic1.residency.get(Hop::Pcie1) > Nanos::ZERO);
+    assert!(snic1.residency.get(Hop::Pcie0) > Nanos::ZERO);
+
+    let snic2 = measure_breakdown(PathKind::Snic2, Verb::Read, 64);
+    assert!(snic2.residency.get(Hop::SocAttach) > Nanos::ZERO);
+    assert_eq!(snic2.residency.get(Hop::Pcie0), Nanos::ZERO);
+
+    // The SmartNIC tax is visible: SNIC(1) spends strictly more time in
+    // the switch+PCIe1 segment than RNIC(1) (which spends none).
+    assert!(
+        snic1.residency.get(Hop::Switch) + snic1.residency.get(Hop::Pcie1)
+            > rnic.residency.get(Hop::Switch) + rnic.residency.get(Hop::Pcie1)
+    );
+}
+
+/// The metrics registry counts the harness edge cases coherently:
+/// completions never exceed posts, late completions are the difference,
+/// and the post-mode counter matches the stream's mode.
+#[test]
+fn registry_counters_are_coherent() {
+    let scenario = Scenario {
+        warmup: Nanos::from_micros(100),
+        duration: Nanos::from_micros(600),
+        ..Scenario::default()
+    }
+    .with_metrics();
+    let spec = StreamSpec::new(PathKind::Snic1, Verb::Write, 256, 3);
+    let r = run_scenario(&scenario, &[spec]);
+
+    let posted = r.metrics.counter_value("requests_posted").unwrap();
+    let completed = r.metrics.counter_value("requests_completed").unwrap();
+    let late = r.metrics.counter_value("completions_past_horizon").unwrap();
+    assert!(posted > 0, "no posts counted");
+    assert!(completed > 0, "no completions counted");
+    assert!(
+        completed <= posted,
+        "completed {completed} exceeds posted {posted}"
+    );
+    assert_eq!(
+        r.metrics.counter_value("posted_mmio").unwrap(),
+        posted,
+        "single-mmio-stream scenario: every post is an MMIO post"
+    );
+    // Everything posted either completed in-window or ran past the
+    // horizon (window-1 closed loop: nothing else is in flight when the
+    // engine drains).
+    assert!(
+        completed + late <= posted,
+        "completed {completed} + late {late} vs posted {posted}"
+    );
+    // The per-stream aggregation saw exactly the counted completions.
+    assert_eq!(r.breakdown.len(), 1);
+    assert_eq!(r.breakdown[0].count, completed);
+
+    // The attribution histogram observed one value per completion.
+    let h = r.metrics.histogram_by_name("attribution_other_ns").unwrap();
+    assert_eq!(h.count(), completed);
+}
+
+/// Metrics off (the default) leaves the breakdown empty and the registry
+/// values untouched — the hot path stays unmeasured unless opted in.
+#[test]
+fn metrics_off_is_free_of_artifacts() {
+    let scenario = Scenario {
+        warmup: Nanos::from_micros(100),
+        duration: Nanos::from_micros(600),
+        ..Scenario::default()
+    };
+    let spec = StreamSpec::new(PathKind::Snic1, Verb::Write, 256, 3);
+    let r = run_scenario(&scenario, &[spec]);
+    assert!(r.breakdown.is_empty());
+    assert_eq!(r.metrics.counter_value("requests_posted"), Some(0));
+    assert!(r.streams[0].ops.as_mops() > 0.0);
+}

@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::fig10_doorbell::run(opts.quick);
-    snic_bench::emit("fig10_doorbell", &tables, opts);
+    snic_bench::emit("fig10_doorbell", &tables, &opts);
 }

@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::fig11_concurrency::run(opts.quick);
-    snic_bench::emit("fig11_concurrency", &tables, opts);
+    snic_bench::emit("fig11_concurrency", &tables, &opts);
 }

@@ -3,5 +3,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let table = snic_kvstore::fig1_table(opts.quick);
-    snic_bench::emit("fig1_kvstore", &[table], opts);
+    snic_bench::emit("fig1_kvstore", &[table], &opts);
 }

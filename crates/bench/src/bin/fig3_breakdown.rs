@@ -3,5 +3,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::fig3_breakdown::run(opts.quick);
-    snic_bench::emit("fig3_breakdown", &tables, opts);
+    snic_bench::emit("fig3_breakdown", &tables, &opts);
 }

@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::fig4_lat_tput::run(opts.quick);
-    snic_bench::emit("fig4_lat_tput", &tables, opts);
+    snic_bench::emit("fig4_lat_tput", &tables, &opts);
 }

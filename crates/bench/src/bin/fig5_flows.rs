@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::fig5_flows::run(opts.quick);
-    snic_bench::emit("fig5_flows", &tables, opts);
+    snic_bench::emit("fig5_flows", &tables, &opts);
 }

@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::fig7_skew::run(opts.quick);
-    snic_bench::emit("fig7_skew", &tables, opts);
+    snic_bench::emit("fig7_skew", &tables, &opts);
 }

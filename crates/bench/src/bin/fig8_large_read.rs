@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::fig8_large_read::run(opts.quick);
-    snic_bench::emit("fig8_large_read", &tables, opts);
+    snic_bench::emit("fig8_large_read", &tables, &opts);
 }

@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::fig9_path3::run(opts.quick);
-    snic_bench::emit("fig9_path3", &tables, opts);
+    snic_bench::emit("fig9_path3", &tables, &opts);
 }

@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::budget::run(opts.quick);
-    snic_bench::emit("fig_concurrent_budget", &tables, opts);
+    snic_bench::emit("fig_concurrent_budget", &tables, &opts);
 }

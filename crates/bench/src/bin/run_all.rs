@@ -2,7 +2,12 @@
 //!
 //! Artifacts are computed on parallel worker threads (each experiment is
 //! an independent deterministic simulation) and emitted in a fixed order
-//! regardless of completion order.
+//! regardless of completion order. `--only <prefix>` restricts the run
+//! to jobs whose name starts with the prefix (`--only 14`,
+//! `--only fig5` — the numeric prefix is optional); `--jobs N` caps the
+//! worker threads (default: one per job).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use snic_bench::TableSink;
 use snic_core::report::Table;
@@ -26,12 +31,42 @@ fn main() {
         ("10_table3_packets", e::table3_packets::run),
         ("11_fig_concurrent_budget", e::budget::run),
         ("12_fig_discussion", e::discussion::run),
+        ("13_fig5_cluster", e::fig5_cluster::run),
+        ("14_incast", e::incast::run),
     ];
+    let jobs: Vec<Job> = match &opts.only {
+        Some(prefix) => {
+            let selected: Vec<Job> = jobs
+                .into_iter()
+                .filter(|(name, _)| {
+                    // Match against the full name or the part after the
+                    // ordering prefix, so `--only fig5` works too.
+                    let clean = name.split_once('_').map_or(*name, |(_, rest)| rest);
+                    name.starts_with(prefix.as_str()) || clean.starts_with(prefix.as_str())
+                })
+                .collect();
+            if selected.is_empty() {
+                eprintln!("--only {prefix}: no job matches");
+                std::process::exit(2);
+            }
+            selected
+        }
+        None => jobs,
+    };
+
+    // Work queue: at most `--jobs N` experiments in flight (default: all
+    // at once, as before).
+    let workers = opts.jobs.unwrap_or(jobs.len()).min(jobs.len()).max(1);
+    let next = AtomicUsize::new(0);
     let sink = TableSink::new();
     std::thread::scope(|s| {
-        for (name, run) in &jobs {
-            let sink = &sink;
-            s.spawn(move || {
+        for _ in 0..workers {
+            let (next, sink, jobs) = (&next, &sink, &jobs);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((name, run)) = jobs.get(i) else {
+                    break;
+                };
                 for t in run(opts.quick) {
                     sink.push(name, t);
                 }
@@ -51,6 +86,6 @@ fn main() {
     for (name, _) in &jobs {
         let tables = by_name.remove(*name).unwrap_or_default();
         let clean = name.split_once('_').map_or(*name, |(_, rest)| rest);
-        snic_bench::emit(clean, &tables, opts);
+        snic_bench::emit(clean, &tables, &opts);
     }
 }

@@ -4,5 +4,5 @@
 fn main() {
     let opts = snic_bench::Options::from_args();
     let tables = snic_core::experiments::table3_packets::run(opts.quick);
-    snic_bench::emit("table3_packets", &tables, opts);
+    snic_bench::emit("table3_packets", &tables, &opts);
 }

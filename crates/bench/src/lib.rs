@@ -21,38 +21,70 @@ use snic_core::report::Table;
 pub const RESULTS_DIR: &str = "results";
 
 /// CLI options shared by the figure binaries.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Options {
     /// Shrink sweeps and horizons (`--quick`).
     pub quick: bool,
     /// Write CSV files under [`RESULTS_DIR`] (`--csv`).
     pub csv: bool,
+    /// Only run jobs whose name starts with this prefix
+    /// (`--only <prefix>`; `run_all` only).
+    pub only: Option<String>,
+    /// Cap concurrent experiment jobs (`--jobs N`; `run_all` only).
+    pub jobs: Option<usize>,
 }
 
 impl Options {
     /// Parses the binary's arguments.
     pub fn from_args() -> Options {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|bad| {
+            eprintln!("{bad}; try --help");
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses an argument list; `Err` carries the offending token.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
         let mut o = Options::default();
-        for a in std::env::args().skip(1) {
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => o.quick = true,
                 "--csv" => o.csv = true,
-                "--help" | "-h" => {
-                    eprintln!("options: --quick (small sweep)  --csv (write results/*.csv)");
-                    std::process::exit(0);
-                }
+                "--only" => match it.next() {
+                    Some(p) => o.only = Some(p),
+                    None => return Err("--only needs a job-name prefix".to_string()),
+                },
+                "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                    Some(Ok(n)) if n > 0 => o.jobs = Some(n),
+                    _ => return Err("--jobs needs a positive integer".to_string()),
+                },
                 other => {
-                    eprintln!("unknown option {other}; try --help");
-                    std::process::exit(2);
+                    if let Some(p) = other.strip_prefix("--only=") {
+                        o.only = Some(p.to_string());
+                    } else if let Some(n) = other.strip_prefix("--jobs=") {
+                        match n.parse::<usize>() {
+                            Ok(n) if n > 0 => o.jobs = Some(n),
+                            _ => return Err("--jobs needs a positive integer".to_string()),
+                        }
+                    } else if matches!(other, "--help" | "-h") {
+                        eprintln!(
+                            "options: --quick (small sweep)  --csv (write results/*.csv)  \
+                             --only <prefix> (filter jobs)  --jobs <n> (concurrency cap)"
+                        );
+                        std::process::exit(0);
+                    } else {
+                        return Err(format!("unknown option {other}"));
+                    }
                 }
             }
         }
-        o
+        Ok(o)
     }
 }
 
 /// Prints tables and optionally writes them as CSV under `results/`.
-pub fn emit(prefix: &str, tables: &[Table], opts: Options) {
+pub fn emit(prefix: &str, tables: &[Table], opts: &Options) {
     for (i, t) in tables.iter().enumerate() {
         println!("{}", t.to_text());
         if opts.csv {
@@ -109,12 +141,32 @@ mod tests {
         let o = Options::default();
         assert!(!o.quick);
         assert!(!o.csv);
+        assert!(o.only.is_none());
+        assert!(o.jobs.is_none());
+    }
+
+    #[test]
+    fn parse_only_and_jobs() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = Options::parse(args(&["--quick", "--only", "14", "--jobs", "2"])).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.only.as_deref(), Some("14"));
+        assert_eq!(o.jobs, Some(2));
+        // `=` forms.
+        let o = Options::parse(args(&["--only=04_fig5", "--jobs=8"])).unwrap();
+        assert_eq!(o.only.as_deref(), Some("04_fig5"));
+        assert_eq!(o.jobs, Some(8));
+        // Rejections.
+        assert!(Options::parse(args(&["--only"])).is_err());
+        assert!(Options::parse(args(&["--jobs", "0"])).is_err());
+        assert!(Options::parse(args(&["--jobs", "many"])).is_err());
+        assert!(Options::parse(args(&["--bogus"])).is_err());
     }
 
     #[test]
     fn emit_prints_without_csv() {
         let t = Table::new("T", &["a"]);
-        emit("test", &[t], Options::default());
+        emit("test", &[t], &Options::default());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Cross-shard message types.
+//!
+//! Every interaction between machines is a [`NetMsg`] travelling through
+//! the switch. Messages are the *only* channel between shards, and the
+//! wire's one-way latency is the runtime's conservative lookahead: a
+//! message emitted during epoch `k` can never be delivered before epoch
+//! `k + 1`, so shards simulated in parallel within one epoch cannot
+//! influence each other.
+
+use nicsim::{Endpoint, Verb};
+use simnet::time::Nanos;
+
+/// Index of a shard (one shard per machine: clients first, then servers).
+pub type ShardId = usize;
+
+/// What a message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A verb issued by a requester thread towards a responder machine.
+    Request {
+        /// The verb.
+        verb: Verb,
+        /// Application payload bytes.
+        payload: u64,
+        /// Target address in the responder's memory.
+        addr: u64,
+        /// Responder endpoint (host memory for path 1, SoC for path 2).
+        endpoint: Endpoint,
+        /// Global stream index (for stats + closed-loop matching).
+        stream: u16,
+        /// Thread index within the issuing shard's stream.
+        thread: u16,
+        /// When the requester thread posted (echoed back for latency).
+        posted: Nanos,
+    },
+    /// The responder's answer (READ data or a header-only ack).
+    Response {
+        /// Global stream index.
+        stream: u16,
+        /// Thread index within the destination shard's stream.
+        thread: u16,
+        /// Original post instant, echoed back.
+        posted: Nanos,
+    },
+}
+
+/// One message in flight between two shards.
+#[derive(Debug, Clone, Copy)]
+pub struct NetMsg {
+    /// Emitting shard.
+    pub src: ShardId,
+    /// Destination shard.
+    pub dst: ShardId,
+    /// Per-source emission sequence number (merge tie-breaker).
+    pub seq: u64,
+    /// When the message starts onto the source NIC's wire.
+    pub depart: Nanos,
+    /// Wire payload bytes (protocol headers added by the port model).
+    pub bytes: u64,
+    /// Payload.
+    pub kind: MsgKind,
+}
+
+impl NetMsg {
+    /// The deterministic global merge key: messages are arbitrated at
+    /// the switch in `(depart, src shard, seq)` order regardless of how
+    /// many worker threads produced them.
+    pub fn key(&self) -> (u64, ShardId, u64) {
+        (self.depart.as_nanos(), self.src, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_key_orders_by_time_then_shard_then_seq() {
+        let m = |depart: u64, src: usize, seq: u64| NetMsg {
+            src,
+            dst: 0,
+            seq,
+            depart: Nanos::new(depart),
+            bytes: 0,
+            kind: MsgKind::Response {
+                stream: 0,
+                thread: 0,
+                posted: Nanos::ZERO,
+            },
+        };
+        let mut v = [m(5, 1, 0), m(5, 0, 2), m(4, 9, 9), m(5, 0, 1)];
+        v.sort_by_key(NetMsg::key);
+        let keys: Vec<_> = v.iter().map(NetMsg::key).collect();
+        assert_eq!(keys, vec![(4, 9, 9), (5, 0, 1), (5, 0, 2), (5, 1, 0)]);
+    }
+}

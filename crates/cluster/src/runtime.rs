@@ -1,0 +1,156 @@
+//! Conservative-lookahead epoch-barrier executor.
+//!
+//! Time is diced into epochs of length `L = SwitchFabric::lookahead()`
+//! (the wire's one-way latency). Within epoch `k` — the half-open
+//! interval `[kL, (k+1)L)` — shards cannot interact: any message emitted
+//! by an event at time `t` departs at `depart >= t` and arrives no
+//! earlier than `depart + L >= (k+1)L`, i.e. in a later epoch. So all
+//! shards run one epoch in parallel, then the main thread merges their
+//! outboxes in global `(depart, src, seq)` order, arbitrates switch
+//! ports single-threaded, and schedules the arrivals. Because both the
+//! per-epoch work and the merge order are independent of how shards are
+//! assigned to worker threads, the simulation is byte-identical for any
+//! worker count.
+//!
+//! Empty epochs are skipped: the driver jumps straight to the next
+//! pending instant (minimum over shard engines and undelivered
+//! messages), so wall-clock cost scales with events, not with horizon /
+//! lookahead.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use simnet::time::Nanos;
+
+use crate::msg::NetMsg;
+use crate::shard::Shard;
+use crate::switch::SwitchFabric;
+
+/// What the driver observed while running.
+pub(crate) struct RunStats {
+    /// Non-empty epochs executed.
+    pub epochs: u64,
+}
+
+type Pending = BTreeMap<(u64, usize, u64), NetMsg>;
+
+/// The earliest instant anything can still happen: the minimum over
+/// every shard's next event and every undelivered message's departure.
+/// Departures must participate, otherwise the driver could skip past the
+/// epoch in which a message was due to arrive.
+fn next_time(cells: &[Mutex<Shard>], pending: &Pending) -> Option<Nanos> {
+    let mut t = pending.keys().next().map(|k| Nanos::new(k.0));
+    for cell in cells {
+        if let Some(p) = cell.lock().unwrap().peek_time() {
+            t = Some(match t {
+                Some(x) => x.min(p),
+                None => p,
+            });
+        }
+    }
+    t
+}
+
+/// Barrier step: collect outboxes in shard-index order, then arbitrate
+/// every message departing strictly before `epoch_end` in global
+/// `(depart, src, seq)` order. Messages departing later stay pending —
+/// their switch-port reservations must wait until all earlier traffic is
+/// known.
+fn merge(
+    cells: &[Mutex<Shard>],
+    switch: &mut SwitchFabric,
+    pending: &mut Pending,
+    epoch_end: Nanos,
+) {
+    for cell in cells {
+        let mut shard = cell.lock().unwrap();
+        for m in shard.take_outbox() {
+            pending.insert(m.key(), m);
+        }
+    }
+    let cut = (epoch_end.as_nanos(), 0usize, 0u64);
+    let ready: Vec<(u64, usize, u64)> = pending.range(..cut).map(|(k, _)| *k).collect();
+    for key in ready {
+        let m = pending.remove(&key).expect("key taken from the map");
+        let d = switch.route(&m);
+        cells[m.dst]
+            .lock()
+            .unwrap()
+            .deliver(d.arrive, &m, d.drained);
+    }
+}
+
+/// Runs the cluster until no shard has an event at or before `horizon`.
+/// `workers <= 1` uses a sequential fast path with the *same* epoch
+/// schedule, so results match the parallel path bit for bit.
+pub(crate) fn drive(
+    cells: &[Mutex<Shard>],
+    switch: &mut SwitchFabric,
+    horizon: Nanos,
+    workers: usize,
+) -> RunStats {
+    let lookahead = switch.lookahead().as_nanos().max(1);
+    let epoch_end_of = |t: Nanos| Nanos::new((t.as_nanos() / lookahead + 1) * lookahead);
+    let mut pending = Pending::new();
+    let mut epochs = 0u64;
+    let workers = workers.clamp(1, cells.len().max(1));
+
+    if workers <= 1 {
+        while let Some(t) = next_time(cells, &pending) {
+            if t > horizon {
+                break;
+            }
+            let end = epoch_end_of(t);
+            for cell in cells {
+                cell.lock()
+                    .unwrap()
+                    .run_until(Nanos::new(end.as_nanos() - 1));
+            }
+            merge(cells, switch, &mut pending, end);
+            epochs += 1;
+        }
+        return RunStats { epochs };
+    }
+
+    // Persistent workers; two barrier waits per epoch (start + done).
+    // `end_ns` broadcasts the epoch boundary; `u64::MAX` means shut down.
+    let barrier = Barrier::new(workers + 1);
+    let end_ns = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let barrier = &barrier;
+            let end_ns = &end_ns;
+            scope.spawn(move || loop {
+                barrier.wait();
+                let end = end_ns.load(Ordering::SeqCst);
+                if end == u64::MAX {
+                    break;
+                }
+                // Worker `w` owns shards w, w + workers, w + 2*workers…
+                // The assignment only affects which thread runs a shard,
+                // never what the shard computes.
+                let mut i = w;
+                while i < cells.len() {
+                    cells[i].lock().unwrap().run_until(Nanos::new(end - 1));
+                    i += workers;
+                }
+                barrier.wait();
+            });
+        }
+        while let Some(t) = next_time(cells, &pending) {
+            if t > horizon {
+                break;
+            }
+            let end = epoch_end_of(t);
+            end_ns.store(end.as_nanos(), Ordering::SeqCst);
+            barrier.wait(); // release workers into the epoch
+            barrier.wait(); // wait for all shards to reach the boundary
+            merge(cells, switch, &mut pending, end);
+            epochs += 1;
+        }
+        end_ns.store(u64::MAX, Ordering::SeqCst);
+        barrier.wait();
+    });
+    RunStats { epochs }
+}

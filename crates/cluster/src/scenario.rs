@@ -1,0 +1,486 @@
+//! Cluster-scale scenario API, mirroring `snic-core`'s
+//! `Scenario`/`StreamSpec` shape: a [`ClusterScenario`] runs one or more
+//! [`ClusterStream`]s against one responder machine of a full
+//! [`ClusterSpec`] — but with every machine in its own shard and real
+//! switch-port contention between them.
+
+use std::sync::Mutex;
+
+use nicsim::{ClientMachine, Fabric, PathKind, Verb};
+use rdma_sim::doorbell::{PostCostModel, PostMode, PosterKind};
+use simnet::metrics::Registry;
+use simnet::rng::SimRng;
+use simnet::stats::{Histogram, LatencySummary};
+use simnet::time::{Bandwidth, Nanos, Rate};
+use topology::ClusterSpec;
+
+use crate::runtime;
+use crate::shard::Shard;
+use crate::switch::SwitchFabric;
+
+/// One cluster-wide load stream: requester threads on a set of client
+/// *machines* (shards), all targeting the scenario's responder. Path-3
+/// streams run on the responder machine itself and take no clients.
+#[derive(Debug, Clone)]
+pub struct ClusterStream {
+    /// Label used in reports.
+    pub label: String,
+    /// Communication path.
+    pub path: PathKind,
+    /// Verb.
+    pub verb: Verb,
+    /// Payload bytes.
+    pub payload: u64,
+    /// Base of the target address region.
+    pub addr_base: u64,
+    /// Size of the target address region (random offsets within).
+    pub addr_range: u64,
+    /// Client machine indices issuing this stream (empty for path 3).
+    pub clients: Vec<usize>,
+    /// Threads per client machine (path 3: total threads).
+    pub threads_per_client: usize,
+    /// Outstanding requests per thread.
+    pub window: usize,
+    /// Posting mode.
+    pub post_mode: PostMode,
+}
+
+impl ClusterStream {
+    /// A stream issued from `clients` with the same paper-default
+    /// windows, thread counts, address range and posting mode as
+    /// `snic-core`'s `StreamSpec::new`.
+    pub fn new(path: PathKind, verb: Verb, payload: u64, clients: Vec<usize>) -> Self {
+        ClusterStream {
+            label: format!("{} {}", path.label(), verb.label()),
+            path,
+            verb,
+            payload,
+            addr_base: 0,
+            addr_range: 1 << 30,
+            clients,
+            threads_per_client: match path {
+                PathKind::Rnic1 | PathKind::Snic1 | PathKind::Snic2 => 12,
+                PathKind::Snic3H2S => 24,
+                PathKind::Snic3S2H => 8,
+            },
+            window: match path {
+                PathKind::Rnic1 | PathKind::Snic1 | PathKind::Snic2 => 8,
+                PathKind::Snic3H2S => 4,
+                PathKind::Snic3S2H => 9,
+            },
+            post_mode: if path == PathKind::Snic3S2H {
+                PostMode::Doorbell(32)
+            } else {
+                PostMode::Mmio
+            },
+        }
+    }
+
+    /// Overrides the label.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Overrides the window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides threads per client.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads_per_client = threads;
+        self
+    }
+
+    /// Overrides the target address range.
+    pub fn with_range(mut self, range: u64) -> Self {
+        self.addr_range = range;
+        self
+    }
+
+    /// Overrides the posting mode.
+    pub fn with_post_mode(mut self, mode: PostMode) -> Self {
+        self.post_mode = mode;
+        self
+    }
+}
+
+/// A cluster measurement run configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterScenario {
+    /// The machines and the wire.
+    pub cluster: ClusterSpec,
+    /// Which server machine the streams target.
+    pub server: usize,
+    /// Warmup simulated time (completions before it are discarded).
+    pub warmup: Nanos,
+    /// Total simulated time.
+    pub duration: Nanos,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Worker OS threads; `0` means one per available core. Results are
+    /// byte-identical for every value.
+    pub workers: usize,
+}
+
+impl ClusterScenario {
+    /// The paper's rack-scale testbed (Table 2) with the default
+    /// measurement methodology (§2.4): 200 µs warmup, 2 ms run.
+    pub fn paper_testbed() -> Self {
+        ClusterScenario {
+            cluster: ClusterSpec::paper_testbed(),
+            server: 0,
+            warmup: Nanos::from_micros(200),
+            duration: Nanos::from_millis(2),
+            seed: 42,
+            workers: 0,
+        }
+    }
+
+    /// A shortened run for smoke tests and `--quick` mode.
+    pub fn quick() -> Self {
+        ClusterScenario {
+            warmup: Nanos::from_micros(100),
+            duration: Nanos::from_micros(700),
+            ..Self::paper_testbed()
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-stream cluster measurement outcome.
+#[derive(Debug, Clone)]
+pub struct ClusterStreamResult {
+    /// The stream's label.
+    pub label: String,
+    /// Latency distribution over the measurement window.
+    pub latency: LatencySummary,
+    /// Completed-operations rate.
+    pub ops: Rate,
+    /// Payload goodput.
+    pub goodput: Bandwidth,
+    /// Raw completions inside the measurement window.
+    pub completions: u64,
+}
+
+/// Whole-run outcome.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// One result per stream, in input order.
+    pub streams: Vec<ClusterStreamResult>,
+    /// Measurement window length.
+    pub window: Nanos,
+    /// Deterministic run counters (shard events, routed messages, …).
+    pub metrics: Registry,
+    /// Non-empty epochs the runtime executed.
+    pub epochs: u64,
+    /// Messages routed through the switch.
+    pub messages: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+impl ClusterResult {
+    /// Aggregate operations rate across streams.
+    pub fn total_ops(&self) -> Rate {
+        Rate::per_sec(self.streams.iter().map(|s| s.ops.as_per_sec()).sum())
+    }
+
+    /// Aggregate goodput across streams.
+    pub fn total_goodput(&self) -> Bandwidth {
+        Bandwidth::bytes_per_sec(
+            self.streams
+                .iter()
+                .map(|s| s.goodput.as_bytes_per_sec())
+                .sum(),
+        )
+    }
+
+    /// Serializes the per-stream results. Covers every
+    /// simulation-derived quantity (worker count and wall-clock figures
+    /// are deliberately excluded), so two byte-identical dumps mean two
+    /// identical simulations — the determinism test diffs this.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("stream,completions,p50_ns,p99_ns,goodput_bps,mops\n");
+        for s in &self.streams {
+            out.push_str(&format!(
+                "{},{},{},{},{:.3},{:.6}\n",
+                s.label,
+                s.completions,
+                s.latency.p50.as_nanos(),
+                s.latency.p99.as_nanos(),
+                s.goodput.as_bytes_per_sec(),
+                s.ops.as_per_sec() / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+/// Runs `streams` on the cluster under `scenario`.
+///
+/// # Panics
+///
+/// Panics if the scenario names a missing server, a stream references a
+/// missing client machine (or lists none for a remote path), or a
+/// SmartNIC path targets a server without a SmartNIC.
+pub fn run_cluster(scenario: &ClusterScenario, streams: &[ClusterStream]) -> ClusterResult {
+    let n_clients = scenario.cluster.clients.len();
+    let n_servers = scenario.cluster.servers.len();
+    assert!(
+        scenario.server < n_servers,
+        "scenario targets server {} but the cluster has {n_servers}",
+        scenario.server
+    );
+    let server_shard = n_clients + scenario.server;
+    let n_shards = n_clients + n_servers;
+
+    let nic_bws: Vec<Bandwidth> = scenario
+        .cluster
+        .clients
+        .iter()
+        .chain(scenario.cluster.servers.iter())
+        .map(|m| m.nic.nic().network_bw)
+        .collect();
+    let mut switch = SwitchFabric::new(&scenario.cluster.wire, &nic_bws);
+
+    // Every shard's RNG is forked from the root by shard index, so the
+    // stream of random numbers a shard sees is independent of how many
+    // worker threads run the simulation.
+    let mut root = SimRng::seed(scenario.seed);
+    let mut shard_rngs: Vec<SimRng> = (0..n_shards).map(|i| root.fork(i as u64)).collect();
+
+    let mut shards: Vec<Shard> = Vec::with_capacity(n_shards);
+    for (i, m) in scenario.cluster.clients.iter().enumerate() {
+        shards.push(Shard::new_client(
+            i,
+            ClientMachine::new(*m),
+            server_shard,
+            streams.len(),
+            scenario.warmup,
+            scenario.duration,
+        ));
+    }
+    for (j, m) in scenario.cluster.servers.iter().enumerate() {
+        shards.push(Shard::new_server(
+            n_clients + j,
+            Fabric::new(*m, 0, scenario.cluster.wire),
+            streams.len(),
+            scenario.warmup,
+            scenario.duration,
+        ));
+    }
+
+    for (si, stream) in streams.iter().enumerate() {
+        if stream.path.on_smartnic() {
+            assert!(
+                scenario.cluster.servers[scenario.server]
+                    .nic
+                    .smartnic()
+                    .is_some(),
+                "stream '{}' needs a SmartNIC on server {}",
+                stream.label,
+                scenario.server
+            );
+        }
+        if stream.path.is_remote() {
+            assert!(
+                !stream.clients.is_empty(),
+                "remote stream '{}' lists no client machines",
+                stream.label
+            );
+            for &ci in &stream.clients {
+                assert!(
+                    ci < n_clients,
+                    "stream '{}' references missing client {ci}",
+                    stream.label
+                );
+                let cost = PostCostModel::new(&scenario.cluster.clients[ci], PosterKind::Client)
+                    .cpu_time_per_request(stream.post_mode);
+                shards[ci].install_stream(
+                    si,
+                    stream,
+                    cost,
+                    stream.threads_per_client,
+                    &mut shard_rngs[ci],
+                );
+            }
+        } else {
+            let poster = PosterKind::for_path(stream.path);
+            let cost = PostCostModel::new(&scenario.cluster.servers[scenario.server], poster)
+                .cpu_time_per_request(stream.post_mode);
+            shards[server_shard].install_stream(
+                si,
+                stream,
+                cost,
+                stream.threads_per_client,
+                &mut shard_rngs[server_shard],
+            );
+        }
+    }
+
+    let workers = if scenario.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        scenario.workers
+    };
+    let cells: Vec<Mutex<Shard>> = shards.into_iter().map(Mutex::new).collect();
+    let stats = runtime::drive(&cells, &mut switch, scenario.duration, workers);
+    let shards: Vec<Shard> = cells
+        .into_iter()
+        .map(|c| c.into_inner().expect("no shard panicked"))
+        .collect();
+
+    // Merge per-stream aggregates and counters in shard-index order —
+    // another fixed order, independent of the worker count.
+    let window = scenario.duration - scenario.warmup;
+    let wsecs = window.as_secs_f64();
+    let results: Vec<ClusterStreamResult> = streams
+        .iter()
+        .enumerate()
+        .map(|(si, stream)| {
+            let mut hist = Histogram::new();
+            let mut ops = 0u64;
+            let mut bytes = 0u64;
+            for shard in &shards {
+                let a = shard.agg(si);
+                hist.merge(&a.hist);
+                ops += a.ops;
+                bytes += a.bytes;
+            }
+            ClusterStreamResult {
+                label: stream.label.clone(),
+                latency: hist.summary(),
+                ops: Rate::per_sec(ops as f64 / wsecs),
+                goodput: Bandwidth::bytes_per_sec(bytes as f64 / wsecs),
+                completions: ops,
+            }
+        })
+        .collect();
+
+    let mut registry = Registry::new();
+    let mut set = |name: &str, v: u64| {
+        let id = registry.counter(name);
+        registry.add(id, v);
+    };
+    set(
+        "requests_posted",
+        shards.iter().map(|s| s.counters().posted).sum(),
+    );
+    set(
+        "requests_completed",
+        shards.iter().map(|s| s.counters().completed).sum(),
+    );
+    set(
+        "posts_deferred",
+        shards.iter().map(|s| s.counters().deferred).sum(),
+    );
+    set("rnr_events", shards.iter().map(|s| s.counters().rnr).sum());
+    set(
+        "forced_signals",
+        shards.iter().map(|s| s.counters().forced_signals).sum(),
+    );
+    set("msgs_routed", switch.routed());
+    set("epochs", stats.epochs);
+    for (i, shard) in shards.iter().enumerate() {
+        set(&format!("shard{i:02}_events"), shard.events_delivered());
+    }
+    for (si, _) in streams.iter().enumerate() {
+        set(
+            &format!("stream{si:02}_completed"),
+            shards.iter().map(|s| s.agg(si).ops).sum(),
+        );
+    }
+
+    ClusterResult {
+        streams: results,
+        window,
+        metrics: registry,
+        epochs: stats.epochs,
+        messages: switch.routed(),
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ClusterScenario {
+        let mut sc = ClusterScenario::quick();
+        sc.cluster.clients.truncate(3);
+        sc
+    }
+
+    #[test]
+    fn single_stream_produces_throughput() {
+        let sc = tiny().with_workers(1);
+        let st = ClusterStream::new(PathKind::Snic1, Verb::Read, 64, vec![0, 1, 2]);
+        let r = run_cluster(&sc, &[st]);
+        assert_eq!(r.streams.len(), 1);
+        assert!(
+            r.streams[0].completions > 1000,
+            "{}",
+            r.streams[0].completions
+        );
+        assert!(
+            r.streams[0].latency.p50 > Nanos::new(900),
+            "one-way wire is 450ns x2"
+        );
+        assert!(r.epochs > 0);
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn path3_stream_needs_no_clients() {
+        let sc = tiny().with_workers(1);
+        let st = ClusterStream::new(PathKind::Snic3H2S, Verb::Write, 256, vec![]);
+        let r = run_cluster(&sc, &[st]);
+        assert!(r.streams[0].completions > 1000);
+        // Path 3 never crosses the switch.
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_results() {
+        let st = || ClusterStream::new(PathKind::Snic1, Verb::Write, 512, vec![0, 1, 2]);
+        let a = run_cluster(&tiny().with_workers(1), &[st()]);
+        let b = run_cluster(&tiny().with_workers(3), &[st()]);
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing client")]
+    fn missing_client_is_rejected() {
+        let sc = tiny();
+        let st = ClusterStream::new(PathKind::Snic1, Verb::Read, 64, vec![99]);
+        run_cluster(&sc, &[st]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a SmartNIC")]
+    fn smartnic_path_rejected_on_rnic_cluster() {
+        let mut sc = tiny();
+        sc.cluster = ClusterSpec::rnic_testbed();
+        sc.cluster.clients.truncate(2);
+        let st = ClusterStream::new(PathKind::Snic2, Verb::Read, 64, vec![0]);
+        run_cluster(&sc, &[st]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Shards: one machine per shard, each with a private event engine.
+//!
+//! A client shard owns a `nicsim::ClientMachine` plus the closed-loop
+//! requester threads of every stream that lists it; a server shard owns
+//! a full `nicsim::Fabric` (with zero embedded clients — real clients
+//! live in their own shards) and answers inbound requests, plus hosts
+//! path-3 streams that never leave the machine. Shards communicate only
+//! through [`NetMsg`]s collected at epoch barriers, which is what makes
+//! them safe to simulate on parallel OS threads.
+
+use memsys::MemOp;
+use nicsim::client::{wire_bytes, wire_frames};
+use nicsim::server::pipeline_out;
+use nicsim::{ClientMachine, Fabric, PathKind, RequestDesc, Verb};
+use rdma_sim::transport::{RecvQueue, SendFlags, SignalTracker};
+use simnet::engine::{Engine, Step};
+use simnet::resource::Dir;
+use simnet::rng::SimRng;
+use simnet::stats::Histogram;
+use simnet::time::Nanos;
+
+use crate::msg::{MsgKind, NetMsg, ShardId};
+use crate::scenario::ClusterStream;
+
+/// Receive-queue depth used by the responder's echo loop (the paper's
+/// framework pre-stocks and auto-replenishes receives, §2.4).
+const SERVER_RQ_DEPTH: usize = 512;
+
+/// Address alignment of generated accesses (one cache line).
+const ADDR_ALIGN: u64 = 64;
+
+/// A shard-local event.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    /// A requester thread (re)fills one slot of its window.
+    Post {
+        /// Global stream index.
+        stream: u16,
+        /// Thread index within this shard's stream.
+        thread: u16,
+    },
+    /// A message delivered by the switch.
+    Arrive {
+        /// Message payload.
+        kind: MsgKind,
+        /// Wire payload bytes.
+        bytes: u64,
+        /// Emitting shard (responses are routed back to it).
+        from: ShardId,
+        /// When the full transfer has drained through the destination
+        /// port (completions cannot precede this).
+        drained: Nanos,
+    },
+}
+
+/// Per-stream measurement aggregate on one shard.
+pub(crate) struct StreamAgg {
+    pub hist: Histogram,
+    pub ops: u64,
+    pub bytes: u64,
+}
+
+/// Shard-local counters, merged into the result registry in shard order.
+#[derive(Default)]
+pub(crate) struct ShardCounters {
+    pub posted: u64,
+    pub completed: u64,
+    pub deferred: u64,
+    pub rnr: u64,
+    pub forced_signals: u64,
+}
+
+struct LocalThread {
+    cpu_free: Nanos,
+    rng: SimRng,
+    signal: SignalTracker,
+}
+
+/// A stream's shard-local slice: config + its requester threads.
+struct LocalStream {
+    verb: Verb,
+    path: PathKind,
+    payload: u64,
+    addr_base: u64,
+    addr_range: u64,
+    cpu_cost: Nanos,
+    threads: Vec<LocalThread>,
+}
+
+enum Model {
+    Client {
+        machine: Box<ClientMachine>,
+        server_shard: ShardId,
+    },
+    Server {
+        fabric: Box<Fabric>,
+        recvq: RecvQueue,
+    },
+}
+
+/// One machine of the cluster with its private engine and resources.
+pub(crate) struct Shard {
+    id: ShardId,
+    engine: Engine<Ev>,
+    model: Model,
+    streams: Vec<Option<LocalStream>>,
+    aggs: Vec<StreamAgg>,
+    counters: ShardCounters,
+    outbox: Vec<NetMsg>,
+    out_seq: u64,
+    measure_from: Nanos,
+    measure_to: Nanos,
+}
+
+impl Shard {
+    fn new(
+        id: ShardId,
+        model: Model,
+        n_streams: usize,
+        measure_from: Nanos,
+        measure_to: Nanos,
+    ) -> Self {
+        Shard {
+            id,
+            engine: Engine::new(),
+            model,
+            streams: (0..n_streams).map(|_| None).collect(),
+            aggs: (0..n_streams)
+                .map(|_| StreamAgg {
+                    hist: Histogram::new(),
+                    ops: 0,
+                    bytes: 0,
+                })
+                .collect(),
+            counters: ShardCounters::default(),
+            outbox: Vec::new(),
+            out_seq: 0,
+            measure_from,
+            measure_to,
+        }
+    }
+
+    /// A requester machine shard.
+    pub(crate) fn new_client(
+        id: ShardId,
+        machine: ClientMachine,
+        server_shard: ShardId,
+        n_streams: usize,
+        measure_from: Nanos,
+        measure_to: Nanos,
+    ) -> Self {
+        Shard::new(
+            id,
+            Model::Client {
+                machine: Box::new(machine),
+                server_shard,
+            },
+            n_streams,
+            measure_from,
+            measure_to,
+        )
+    }
+
+    /// A responder machine shard.
+    pub(crate) fn new_server(
+        id: ShardId,
+        fabric: Fabric,
+        n_streams: usize,
+        measure_from: Nanos,
+        measure_to: Nanos,
+    ) -> Self {
+        Shard::new(
+            id,
+            Model::Server {
+                fabric: Box::new(fabric),
+                recvq: RecvQueue::echo_server(SERVER_RQ_DEPTH),
+            },
+            n_streams,
+            measure_from,
+            measure_to,
+        )
+    }
+
+    /// Installs a stream's shard-local slice (`n_threads` closed-loop
+    /// threads, each with `stream.window` outstanding slots) and seeds
+    /// the initial window with jittered posts so same-instant FIFO
+    /// ordering does not favour stream 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was already installed on this shard (a
+    /// duplicate client index in `ClusterStream::clients`).
+    pub(crate) fn install_stream(
+        &mut self,
+        idx: usize,
+        stream: &ClusterStream,
+        cpu_cost: Nanos,
+        n_threads: usize,
+        rng: &mut SimRng,
+    ) {
+        assert!(
+            self.streams[idx].is_none(),
+            "stream {idx} installed twice on shard {} (duplicate client index?)",
+            self.id
+        );
+        let threads = (0..n_threads)
+            .map(|t| LocalThread {
+                cpu_free: Nanos::ZERO,
+                rng: rng.fork(((idx as u64) << 32) | t as u64),
+                signal: SignalTracker::new(),
+            })
+            .collect();
+        self.streams[idx] = Some(LocalStream {
+            verb: stream.verb,
+            path: stream.path,
+            payload: stream.payload,
+            addr_base: stream.addr_base,
+            addr_range: stream.addr_range,
+            cpu_cost,
+            threads,
+        });
+        for t in 0..n_threads {
+            for w in 0..stream.window {
+                let jitter = Nanos::new((idx + t * 7 + w * 13) as u64 % 97);
+                self.engine
+                    .schedule(
+                        jitter,
+                        Ev::Post {
+                            stream: idx as u16,
+                            thread: t as u16,
+                        },
+                    )
+                    .expect("seeding events at t~0");
+            }
+        }
+    }
+
+    /// The delivery time of the shard's next pending event, if any.
+    pub(crate) fn peek_time(&self) -> Option<Nanos> {
+        self.engine.peek_time()
+    }
+
+    /// Events delivered by this shard's engine so far.
+    pub(crate) fn events_delivered(&self) -> u64 {
+        self.engine.delivered()
+    }
+
+    /// Drains the messages emitted since the last barrier.
+    pub(crate) fn take_outbox(&mut self) -> Vec<NetMsg> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Schedules a switch-delivered message into the shard's engine.
+    /// `arrive` is always at least one lookahead past the emitting
+    /// event, so it can never land in this shard's past.
+    pub(crate) fn deliver(&mut self, arrive: Nanos, m: &NetMsg, drained: Nanos) {
+        self.engine
+            .schedule(
+                arrive,
+                Ev::Arrive {
+                    kind: m.kind,
+                    bytes: m.bytes,
+                    from: m.src,
+                    drained,
+                },
+            )
+            .expect("lookahead guarantees delivery is in the future");
+    }
+
+    /// Per-stream aggregate.
+    pub(crate) fn agg(&self, idx: usize) -> &StreamAgg {
+        &self.aggs[idx]
+    }
+
+    /// Shard-local counters.
+    pub(crate) fn counters(&self) -> &ShardCounters {
+        &self.counters
+    }
+
+    /// Runs all shard-local events with `time <= deadline` (one epoch).
+    pub(crate) fn run_until(&mut self, deadline: Nanos) {
+        let Shard {
+            id,
+            engine,
+            model,
+            streams,
+            aggs,
+            counters,
+            outbox,
+            out_seq,
+            measure_from,
+            measure_to,
+        } = self;
+        let in_window = |t: Nanos| t > *measure_from && t <= *measure_to;
+        engine.run_until(deadline, |eng, now, ev| {
+            match ev {
+                Ev::Post { stream, thread } => {
+                    let si = stream as usize;
+                    let st = streams[si]
+                        .as_mut()
+                        .expect("post event for a stream not installed on this shard");
+                    let th = &mut st.threads[thread as usize];
+                    // CPU pacing: defer instead of reserving ahead, so
+                    // FIFO resources stay available to earlier posts.
+                    if th.cpu_free > now {
+                        counters.deferred += 1;
+                        eng.schedule(th.cpu_free, ev)
+                            .expect("deferred post is in the future");
+                        return Step::Continue;
+                    }
+                    th.cpu_free = now + st.cpu_cost;
+                    if th.signal.on_post(SendFlags::unsignaled()) {
+                        counters.forced_signals += 1;
+                    }
+                    let addr = if st.addr_range >= ADDR_ALIGN {
+                        th.rng
+                            .addr_in_range(st.addr_base, st.addr_range, ADDR_ALIGN)
+                    } else {
+                        st.addr_base
+                    };
+                    counters.posted += 1;
+                    match model {
+                        Model::Client {
+                            machine,
+                            server_shard,
+                        } => {
+                            let outbound = match st.verb {
+                                Verb::Read => 0,
+                                Verb::Write | Verb::Send => st.payload,
+                            };
+                            let nic_seen = now + machine.mmio_transit();
+                            let depart = machine.issue_with_wire(nic_seen, outbound, outbound);
+                            outbox.push(NetMsg {
+                                src: *id,
+                                dst: *server_shard,
+                                seq: *out_seq,
+                                depart,
+                                bytes: outbound,
+                                kind: MsgKind::Request {
+                                    verb: st.verb,
+                                    payload: st.payload,
+                                    addr,
+                                    endpoint: st.path.responder(),
+                                    stream,
+                                    thread,
+                                    posted: now,
+                                },
+                            });
+                            *out_seq += 1;
+                        }
+                        Model::Server { fabric, .. } => {
+                            // Path-3 stream: the whole round trip stays
+                            // on the responder machine.
+                            let req = RequestDesc::new(st.verb, st.path, st.payload, addr, 0);
+                            let c = fabric.execute(now, req);
+                            if in_window(c.completed) {
+                                let a = &mut aggs[si];
+                                a.hist.record(c.latency());
+                                a.ops += 1;
+                                a.bytes += st.payload;
+                                counters.completed += 1;
+                            }
+                            eng.schedule(c.completed.max(now), ev)
+                                .expect("completion is in the future");
+                        }
+                    }
+                }
+                Ev::Arrive {
+                    kind,
+                    bytes,
+                    from,
+                    drained,
+                } => match (&mut *model, kind) {
+                    (
+                        Model::Server { fabric, recvq },
+                        MsgKind::Request {
+                            verb,
+                            payload,
+                            addr,
+                            endpoint,
+                            stream,
+                            thread,
+                            posted,
+                        },
+                    ) => {
+                        // Responder side of `Fabric::execute_remote`,
+                        // driven by a real arrival event.
+                        let server = &mut fabric.server;
+                        let win = server.wire.reserve(
+                            Dir::Fwd,
+                            now,
+                            wire_bytes(bytes),
+                            wire_frames(bytes),
+                        );
+                        let pu = server.reserve_pu(win.start, endpoint);
+                        let (op, dma_bytes) = match verb {
+                            Verb::Read => (MemOp::Read, payload),
+                            Verb::Write | Verb::Send => (MemOp::Write, payload),
+                        };
+                        let leg =
+                            server.dma(pipeline_out(&pu), endpoint, op, addr, dma_bytes, true);
+                        let mut resp_ready = leg.data_ready.max(win.finish).max(drained);
+                        if verb == Verb::Send {
+                            if !recvq.consume() {
+                                counters.rnr += 1;
+                            }
+                            resp_ready = server.handle_message(resp_ready, endpoint);
+                        }
+                        let inbound = match verb {
+                            Verb::Read => payload,
+                            Verb::Write | Verb::Send => 0,
+                        };
+                        let wout = server.wire.reserve(
+                            Dir::Rev,
+                            resp_ready,
+                            wire_bytes(inbound),
+                            wire_frames(inbound),
+                        );
+                        outbox.push(NetMsg {
+                            src: *id,
+                            dst: from,
+                            seq: *out_seq,
+                            depart: wout.start,
+                            bytes: inbound,
+                            kind: MsgKind::Response {
+                                stream,
+                                thread,
+                                posted,
+                            },
+                        });
+                        *out_seq += 1;
+                    }
+                    (
+                        Model::Client { machine, .. },
+                        MsgKind::Response {
+                            stream,
+                            thread,
+                            posted,
+                        },
+                    ) => {
+                        let si = stream as usize;
+                        let st = streams[si]
+                            .as_ref()
+                            .expect("response for a stream not installed on this shard");
+                        let completed = machine.complete(now, bytes).max(drained);
+                        if in_window(completed) {
+                            let a = &mut aggs[si];
+                            a.hist.record(completed.saturating_sub(posted));
+                            a.ops += 1;
+                            a.bytes += st.payload;
+                            counters.completed += 1;
+                        }
+                        // Refill this window slot.
+                        eng.schedule(completed.max(now), Ev::Post { stream, thread })
+                            .expect("completion is in the future");
+                    }
+                    _ => unreachable!("message kind does not match the shard's role"),
+                },
+            }
+            Step::Continue
+        });
+    }
+}

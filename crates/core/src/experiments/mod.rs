@@ -11,10 +11,12 @@ pub mod fig10_doorbell;
 pub mod fig11_concurrency;
 pub mod fig3_breakdown;
 pub mod fig4_lat_tput;
+pub mod fig5_cluster;
 pub mod fig5_flows;
 pub mod fig7_skew;
 pub mod fig8_large_read;
 pub mod fig9_path3;
+pub mod incast;
 pub mod motivation;
 pub mod table3_packets;
 

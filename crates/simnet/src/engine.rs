@@ -296,4 +296,27 @@ mod tests {
         eng.schedule(Nanos::new(5), 2).unwrap();
         assert_eq!(eng.pop(), Some((Nanos::new(5), 2)));
     }
+
+    #[test]
+    fn same_instant_fifo_spans_schedule_at_now() {
+        // FIFO order among same-instant events must hold even when a
+        // handler schedules *at* the current instant: everything already
+        // queued for `now` runs first (it was scheduled earlier), then
+        // the newly added events, in their own scheduling order. The
+        // cluster runtime's barrier delivery leans on this.
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(Nanos::new(10), 1).unwrap();
+        eng.schedule(Nanos::new(10), 2).unwrap();
+        let mut seen = Vec::new();
+        eng.run_until(Nanos::new(10), |eng, now, ev| {
+            seen.push(ev);
+            if ev == 1 {
+                // Scheduled mid-delivery at exactly `now`.
+                eng.schedule(now, 3).unwrap();
+                eng.schedule(now, 4).unwrap();
+            }
+            Step::Continue
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
 }

@@ -12,6 +12,11 @@ pub struct WireSpec {
     pub one_way_latency: Nanos,
     /// Per-port bandwidth of the switch.
     pub port_bw: Bandwidth,
+    /// Maximum switch ports one NIC may bond (§2.4: the 200 Gbps NICs
+    /// connect with *two* 100 Gbps ports so the switch does not
+    /// bottleneck them). Port-level arbitration in `snic-cluster`
+    /// consumes this instead of assuming it in a comment.
+    pub ports_per_nic: u32,
 }
 
 impl WireSpec {
@@ -22,7 +27,26 @@ impl WireSpec {
         WireSpec {
             one_way_latency: Nanos::new(450),
             port_bw: Bandwidth::gbps(100.0),
+            ports_per_nic: 2,
         }
+    }
+
+    /// Number of switch ports a NIC of bandwidth `nic_bw` actually
+    /// bonds: enough ports to carry its line rate, capped by the cabling
+    /// limit [`WireSpec::ports_per_nic`]. A 100 Gbps ConnectX-4 gets one
+    /// port; a 200 Gbps ConnectX-6 / Bluefield-2 gets two.
+    pub fn ports_for(&self, nic_bw: Bandwidth) -> u32 {
+        if self.port_bw.is_zero() {
+            return 1;
+        }
+        let need = (nic_bw.as_gbps() / self.port_bw.as_gbps()).ceil() as u32;
+        need.clamp(1, self.ports_per_nic.max(1))
+    }
+
+    /// Aggregate switch-side bandwidth available to a NIC of bandwidth
+    /// `nic_bw` (ports × per-port bandwidth).
+    pub fn nic_port_bw(&self, nic_bw: Bandwidth) -> Bandwidth {
+        self.port_bw.scale(self.ports_for(nic_bw) as f64)
     }
 }
 
@@ -83,8 +107,22 @@ mod tests {
 
     #[test]
     fn wire_does_not_limit_200g_nics() {
-        // Two 100 Gbps ports connect each 200 Gbps NIC (§2.4).
+        // Two 100 Gbps ports connect each 200 Gbps NIC (§2.4) — now an
+        // explicit model, not a comment.
         let w = WireSpec::sb7890();
-        assert!(w.port_bw.as_gbps() * 2.0 >= 200.0);
+        assert_eq!(w.ports_per_nic, 2);
+        assert_eq!(w.ports_for(Bandwidth::gbps(200.0)), 2);
+        assert!(w.nic_port_bw(Bandwidth::gbps(200.0)).as_gbps() >= 200.0);
+    }
+
+    #[test]
+    fn port_bonding_is_capped_and_floored() {
+        let w = WireSpec::sb7890();
+        // A 100 Gbps CX-4 needs (and gets) a single port.
+        assert_eq!(w.ports_for(Bandwidth::gbps(100.0)), 1);
+        // A hypothetical 400 Gbps NIC is capped at the cabling limit.
+        assert_eq!(w.ports_for(Bandwidth::gbps(400.0)), 2);
+        // Degenerate bandwidths still get one port.
+        assert_eq!(w.ports_for(Bandwidth::gbps(0.0)), 1);
     }
 }

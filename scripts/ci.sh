@@ -14,4 +14,23 @@ cargo test -q --workspace --offline
 cargo fmt --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "ci.sh: build + tests + fmt + clippy all green (offline)"
+# The parallel cluster runtime must actually prove worker-count
+# invariance: run the dedicated test by name and refuse a run where the
+# filter silently matched nothing (a rename would otherwise turn the
+# gate into a no-op).
+det_out=$(cargo test --release --offline -p offpath-smartnic --test determinism \
+    cluster_worker_count_invariance 2>&1) || {
+    echo "$det_out"
+    echo "ci.sh: cluster determinism test FAILED" >&2
+    exit 1
+}
+if ! grep -q "1 passed" <<<"$det_out"; then
+    echo "$det_out"
+    echo "ci.sh: cluster_worker_count_invariance did not run (filtered out?)" >&2
+    exit 1
+fi
+
+# Smoke the cluster runtime end to end through its example.
+cargo run --release --offline -p offpath-smartnic --example incast -- --quick
+
+echo "ci.sh: build + tests + fmt + clippy + cluster determinism all green (offline)"

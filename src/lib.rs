@@ -13,6 +13,7 @@ pub use nicsim;
 pub use pcie_model as pcie;
 pub use rdma_sim as rdma;
 pub use simnet;
+pub use snic_cluster as cluster;
 pub use snic_core as study;
 pub use snic_kvstore as kvstore;
 pub use topology;

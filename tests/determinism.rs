@@ -197,6 +197,50 @@ fn figure_pipeline_deterministic() {
 }
 
 #[test]
+fn cluster_worker_count_invariance() {
+    // The tentpole property of the parallel cluster runtime: the same
+    // scenario run on 1, 2 and 8 worker threads produces byte-identical
+    // serialized artifacts and an identical metrics registry. A mix of
+    // remote streams (cross-shard traffic through the switch) and a
+    // path-3 stream (server-shard-local) exercises both codepaths.
+    use offpath_smartnic::cluster::{run_cluster, ClusterScenario, ClusterStream};
+
+    let run = |workers: usize| {
+        let mut sc = ClusterScenario::quick().with_workers(workers).with_seed(17);
+        sc.cluster.clients.truncate(6);
+        let streams = vec![
+            ClusterStream::new(PathKind::Snic1, Verb::Write, 4096, vec![0, 1, 2]),
+            ClusterStream::new(PathKind::Snic2, Verb::Read, 256, vec![3, 4, 5]),
+            ClusterStream::new(PathKind::Snic3H2S, Verb::Write, 1024, vec![]),
+        ];
+        run_cluster(&sc, &streams)
+    };
+    let a = run(1);
+    let b = run(2);
+    let c = run(8);
+    assert!(
+        a.streams.iter().all(|s| s.completions > 100),
+        "scenario too idle to prove anything"
+    );
+    assert!(a.messages > 1000, "too little cross-shard traffic");
+
+    for (other, n) in [(&b, 2), (&c, 8)] {
+        assert_eq!(
+            a.to_csv().as_bytes(),
+            other.to_csv().as_bytes(),
+            "CSV diverged between 1 and {n} workers:\n{}\nvs\n{}",
+            a.to_csv(),
+            other.to_csv()
+        );
+        assert_eq!(a.epochs, other.epochs, "epoch schedule diverged");
+        assert_eq!(a.messages, other.messages, "message count diverged");
+        let ca: Vec<(&str, u64)> = a.metrics.counters().collect();
+        let co: Vec<(&str, u64)> = other.metrics.counters().collect();
+        assert_eq!(ca, co, "metrics registry diverged at {n} workers");
+    }
+}
+
+#[test]
 fn kvstore_deterministic() {
     use offpath_smartnic::kvstore::{run_gets, Design, KeyDist, KvConfig};
     let cfg = KvConfig {

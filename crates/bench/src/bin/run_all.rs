@@ -33,6 +33,7 @@ fn main() {
         ("12_fig_discussion", e::discussion::run),
         ("13_fig5_cluster", e::fig5_cluster::run),
         ("14_incast", e::incast::run),
+        ("15_faults", e::faults::run),
     ];
     let jobs: Vec<Job> = match &opts.only {
         Some(prefix) => {

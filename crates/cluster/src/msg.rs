@@ -32,6 +32,10 @@ pub enum MsgKind {
         thread: u16,
         /// When the requester thread posted (echoed back for latency).
         posted: Nanos,
+        /// Requester-side transaction id: identical across
+        /// retransmissions of the same operation, echoed back so the
+        /// requester can match responses to its outstanding table.
+        xid: u64,
     },
     /// The responder's answer (READ data or a header-only ack).
     Response {
@@ -41,6 +45,8 @@ pub enum MsgKind {
         thread: u16,
         /// Original post instant, echoed back.
         posted: Nanos,
+        /// Transaction id echoed from the request.
+        xid: u64,
     },
 }
 
@@ -86,6 +92,7 @@ mod tests {
                 stream: 0,
                 thread: 0,
                 posted: Nanos::ZERO,
+                xid: 0,
             },
         };
         let mut v = [m(5, 1, 0), m(5, 0, 2), m(4, 9, 9), m(5, 0, 1)];

@@ -73,11 +73,15 @@ fn merge(
     let ready: Vec<(u64, usize, u64)> = pending.range(..cut).map(|(k, _)| *k).collect();
     for key in ready {
         let m = pending.remove(&key).expect("key taken from the map");
-        let d = switch.route(&m);
-        cells[m.dst]
-            .lock()
-            .unwrap()
-            .deliver(d.arrive, &m, d.drained);
+        // `None` means the fault plane lost the frame on the wire: the
+        // uplink reservation is burned but nothing arrives — recovery is
+        // the requester's timeout, never the switch's.
+        if let Some(d) = switch.route(&m) {
+            cells[m.dst]
+                .lock()
+                .unwrap()
+                .deliver(d.arrive, &m, d.drained);
+        }
     }
 }
 

@@ -8,6 +8,7 @@ use std::sync::Mutex;
 
 use nicsim::{ClientMachine, Fabric, PathKind, Verb};
 use rdma_sim::doorbell::{PostCostModel, PostMode, PosterKind};
+use simnet::faults::FaultSpec;
 use simnet::metrics::Registry;
 use simnet::rng::SimRng;
 use simnet::stats::{Histogram, LatencySummary};
@@ -123,6 +124,14 @@ pub struct ClusterScenario {
     /// Worker OS threads; `0` means one per available core. Results are
     /// byte-identical for every value.
     pub workers: usize,
+    /// Fault-injection schedule; the default ([`FaultSpec::none`]) is
+    /// inert and installs nothing anywhere.
+    pub faults: FaultSpec,
+    /// Requester ack timeout before a retransmission (only armed when
+    /// stochastic faults are active).
+    pub rc_timeout: Nanos,
+    /// Retransmissions allowed before an operation is abandoned.
+    pub rc_retry: u32,
 }
 
 impl ClusterScenario {
@@ -136,6 +145,9 @@ impl ClusterScenario {
             duration: Nanos::from_millis(2),
             seed: 42,
             workers: 0,
+            faults: FaultSpec::none(),
+            rc_timeout: Nanos::from_micros(10),
+            rc_retry: 7,
         }
     }
 
@@ -157,6 +169,19 @@ impl ClusterScenario {
     /// Overrides the PRNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the transport recovery parameters.
+    pub fn with_rc(mut self, timeout: Nanos, retry: u32) -> Self {
+        self.rc_timeout = timeout;
+        self.rc_retry = retry;
         self
     }
 }
@@ -256,6 +281,9 @@ pub fn run_cluster(scenario: &ClusterScenario, streams: &[ClusterStream]) -> Clu
         .map(|m| m.nic.nic().network_bw)
         .collect();
     let mut switch = SwitchFabric::new(&scenario.cluster.wire, &nic_bws);
+    switch.set_faults(scenario.faults.clone());
+    let wire_faulty = scenario.faults.wire_loss > 0.0 || scenario.faults.wire_corrupt > 0.0;
+    let any_stochastic = wire_faulty || scenario.faults.pcie_corrupt > 0.0;
 
     // Every shard's RNG is forked from the root by shard index, so the
     // stream of random numbers a shard sees is independent of how many
@@ -282,6 +310,19 @@ pub fn run_cluster(scenario: &ClusterScenario, streams: &[ClusterStream]) -> Clu
             scenario.warmup,
             scenario.duration,
         ));
+    }
+    // Arm transport recovery only where loss is possible: clients need
+    // wire timeouts; server shards retry path-3 attempts synchronously
+    // whenever any stochastic fault can fail one. Fault-free runs arm
+    // nothing, keeping their event schedule untouched.
+    for (i, shard) in shards.iter_mut().enumerate() {
+        let is_server = i >= n_clients;
+        if (is_server && any_stochastic) || (!is_server && wire_faulty) {
+            shard.set_retry(scenario.rc_timeout, scenario.rc_retry);
+        }
+        if is_server {
+            shard.set_faults(scenario.faults.clone());
+        }
     }
 
     for (si, stream) in streams.iter().enumerate() {
@@ -391,6 +432,19 @@ pub fn run_cluster(scenario: &ClusterScenario, streams: &[ClusterStream]) -> Clu
         shards.iter().map(|s| s.counters().deferred).sum(),
     );
     set("rnr_events", shards.iter().map(|s| s.counters().rnr).sum());
+    set(
+        "rc_retransmits",
+        shards.iter().map(|s| s.counters().retransmits).sum(),
+    );
+    set(
+        "rc_retry_exhausted",
+        shards.iter().map(|s| s.counters().retry_exhausted).sum(),
+    );
+    set(
+        "dup_responses",
+        shards.iter().map(|s| s.counters().dup_responses).sum(),
+    );
+    set("msgs_dropped", switch.dropped());
     set(
         "forced_signals",
         shards.iter().map(|s| s.counters().forced_signals).sum(),

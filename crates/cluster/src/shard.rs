@@ -8,12 +8,15 @@
 //! through [`NetMsg`]s collected at epoch barriers, which is what makes
 //! them safe to simulate on parallel OS threads.
 
+use std::collections::HashMap;
+
 use memsys::MemOp;
 use nicsim::client::{wire_bytes, wire_frames};
 use nicsim::server::pipeline_out;
 use nicsim::{ClientMachine, Fabric, PathKind, RequestDesc, Verb};
 use rdma_sim::transport::{RecvQueue, SendFlags, SignalTracker};
 use simnet::engine::{Engine, Step};
+use simnet::faults::{fault_key, FaultSpec};
 use simnet::resource::Dir;
 use simnet::rng::SimRng;
 use simnet::stats::Histogram;
@@ -51,6 +54,16 @@ pub(crate) enum Ev {
         /// port (completions cannot precede this).
         drained: Nanos,
     },
+    /// A requester-side ack timeout: fires `rc_timeout` after an
+    /// attempt departed. Acts only if the operation is still
+    /// outstanding *at the same attempt number* (a response or a later
+    /// retransmission makes it a no-op).
+    Timeout {
+        /// Transaction id of the guarded operation.
+        xid: u64,
+        /// Attempt number this timeout was armed for.
+        attempt: u32,
+    },
 }
 
 /// Per-stream measurement aggregate on one shard.
@@ -68,12 +81,27 @@ pub(crate) struct ShardCounters {
     pub deferred: u64,
     pub rnr: u64,
     pub forced_signals: u64,
+    pub retransmits: u64,
+    pub retry_exhausted: u64,
+    pub dup_responses: u64,
 }
 
 struct LocalThread {
     cpu_free: Nanos,
     rng: SimRng,
     signal: SignalTracker,
+    posts: u64,
+}
+
+/// One operation awaiting its response, keyed by xid. Enough state to
+/// retransmit the exact same request (same address, same original post
+/// instant) when its timeout fires.
+struct Outstanding {
+    stream: u16,
+    thread: u16,
+    addr: u64,
+    posted: Nanos,
+    attempt: u32,
 }
 
 /// A stream's shard-local slice: config + its requester threads.
@@ -110,6 +138,12 @@ pub(crate) struct Shard {
     out_seq: u64,
     measure_from: Nanos,
     measure_to: Nanos,
+    /// `(ack timeout, retry budget)` when transport recovery is armed
+    /// (stochastic faults active); `None` keeps the fault-free event
+    /// schedule byte-identical to a build without fault injection.
+    retry: Option<(Nanos, u32)>,
+    outstanding: HashMap<u64, Outstanding>,
+    next_xid: u64,
 }
 
 impl Shard {
@@ -137,6 +171,25 @@ impl Shard {
             out_seq: 0,
             measure_from,
             measure_to,
+            retry: None,
+            outstanding: HashMap::new(),
+            next_xid: 0,
+        }
+    }
+
+    /// Arms transport recovery: an ack timeout and retry budget for
+    /// this shard's requester threads (clients: timeout/retransmit over
+    /// the wire; servers: synchronous path-3 retries).
+    pub(crate) fn set_retry(&mut self, timeout: Nanos, retry_cnt: u32) {
+        self.retry = Some((timeout, retry_cnt));
+    }
+
+    /// Installs the fault schedule on a server shard's fabric (PCIe
+    /// degradation windows, SoC stalls and per-crossing TLP verdicts).
+    /// No-op for client shards.
+    pub(crate) fn set_faults(&mut self, spec: FaultSpec) {
+        if let Model::Server { fabric, .. } = &mut self.model {
+            fabric.set_faults(spec);
         }
     }
 
@@ -208,6 +261,7 @@ impl Shard {
                 cpu_free: Nanos::ZERO,
                 rng: rng.fork(((idx as u64) << 32) | t as u64),
                 signal: SignalTracker::new(),
+                posts: 0,
             })
             .collect();
         self.streams[idx] = Some(LocalStream {
@@ -290,6 +344,9 @@ impl Shard {
             out_seq,
             measure_from,
             measure_to,
+            retry,
+            outstanding,
+            next_xid,
         } = self;
         let in_window = |t: Nanos| t > *measure_from && t <= *measure_to;
         engine.run_until(deadline, |eng, now, ev| {
@@ -330,6 +387,8 @@ impl Shard {
                             };
                             let nic_seen = now + machine.mmio_transit();
                             let depart = machine.issue_with_wire(nic_seen, outbound, outbound);
+                            let xid = *next_xid;
+                            *next_xid += 1;
                             outbox.push(NetMsg {
                                 src: *id,
                                 dst: *server_shard,
@@ -344,24 +403,101 @@ impl Shard {
                                     stream,
                                     thread,
                                     posted: now,
+                                    xid,
                                 },
                             });
                             *out_seq += 1;
+                            if let Some((timeout, _)) = *retry {
+                                outstanding.insert(
+                                    xid,
+                                    Outstanding {
+                                        stream,
+                                        thread,
+                                        addr,
+                                        posted: now,
+                                        attempt: 0,
+                                    },
+                                );
+                                eng.schedule(depart + timeout, Ev::Timeout { xid, attempt: 0 })
+                                    .expect("timeout is in the future");
+                            }
                         }
                         Model::Server { fabric, .. } => {
                             // Path-3 stream: the whole round trip stays
-                            // on the responder machine.
+                            // on the responder machine. Under stochastic
+                            // faults every attempt rolls one TLP verdict
+                            // per PCIe1 crossing — the mechanistic root
+                            // of path 3's double exposure (both DMA legs
+                            // cross PCIe1).
+                            fabric.apply_fault_windows(now);
                             let req = RequestDesc::new(st.verb, st.path, st.payload, addr, 0);
-                            let c = fabric.execute(now, req);
-                            if in_window(c.completed) {
-                                let a = &mut aggs[si];
-                                a.hist.record(c.latency());
-                                a.ops += 1;
-                                a.bytes += st.payload;
-                                counters.completed += 1;
+                            let stochastic = fabric
+                                .faults()
+                                .map(|p| p.has_stochastic_faults())
+                                .unwrap_or(false);
+                            let c = if stochastic {
+                                let (timeout, retry_cnt) =
+                                    retry.expect("server retry armed with stochastic faults");
+                                let post_idx = th.posts;
+                                th.posts += 1;
+                                let mut t = now;
+                                let mut attempt: u32 = 0;
+                                loop {
+                                    fabric.apply_fault_windows(t);
+                                    let c = fabric.execute(t, req);
+                                    let failed = fabric
+                                        .faults()
+                                        .map(|p| {
+                                            p.attempt_fails(
+                                                fault_key(&[
+                                                    *id as u64,
+                                                    stream as u64,
+                                                    thread as u64,
+                                                    post_idx,
+                                                    u64::from(attempt),
+                                                ]),
+                                                st.path.wire_crossings(),
+                                                st.path.pcie1_crossings(),
+                                            )
+                                        })
+                                        .unwrap_or(false);
+                                    if !failed {
+                                        break Some(c);
+                                    }
+                                    if attempt >= retry_cnt {
+                                        counters.retry_exhausted += 1;
+                                        break None;
+                                    }
+                                    counters.retransmits += 1;
+                                    t += timeout;
+                                    attempt += 1;
+                                }
+                            } else {
+                                Some(fabric.execute(now, req))
+                            };
+                            match c {
+                                Some(c) => {
+                                    if in_window(c.completed) {
+                                        let a = &mut aggs[si];
+                                        a.hist.record(c.completed.saturating_sub(now));
+                                        a.ops += 1;
+                                        a.bytes += st.payload;
+                                        counters.completed += 1;
+                                    }
+                                    eng.schedule(c.completed.max(now), ev)
+                                        .expect("completion is in the future");
+                                }
+                                None => {
+                                    // Abandoned after the retry budget:
+                                    // no completion; repost to keep the
+                                    // closed loop at its window.
+                                    let (timeout, retry_cnt) = retry.expect("checked above");
+                                    let burned = now
+                                        + Nanos::new(timeout.as_nanos() * u64::from(retry_cnt + 1));
+                                    eng.schedule(burned, ev)
+                                        .expect("repost after retry exhaustion");
+                                }
                             }
-                            eng.schedule(c.completed.max(now), ev)
-                                .expect("completion is in the future");
                         }
                     }
                 }
@@ -381,10 +517,12 @@ impl Shard {
                             stream,
                             thread,
                             posted,
+                            xid,
                         },
                     ) => {
                         // Responder side of `Fabric::execute_remote`,
                         // driven by a real arrival event.
+                        fabric.apply_fault_windows(now);
                         let server = &mut fabric.server;
                         let win = server.wire.reserve(
                             Dir::Fwd,
@@ -426,6 +564,7 @@ impl Shard {
                                 stream,
                                 thread,
                                 posted,
+                                xid,
                             },
                         });
                         *out_seq += 1;
@@ -436,8 +575,17 @@ impl Shard {
                             stream,
                             thread,
                             posted,
+                            xid,
                         },
                     ) => {
+                        // With recovery armed, only the first response
+                        // for an xid completes the operation; duplicates
+                        // (a late original racing its retransmission)
+                        // are dropped without touching the window.
+                        if retry.is_some() && outstanding.remove(&xid).is_none() {
+                            counters.dup_responses += 1;
+                            return Step::Continue;
+                        }
                         let si = stream as usize;
                         let st = streams[si]
                             .as_ref()
@@ -456,6 +604,71 @@ impl Shard {
                     }
                     _ => unreachable!("message kind does not match the shard's role"),
                 },
+                Ev::Timeout { xid, attempt } => {
+                    let (timeout, retry_cnt) =
+                        retry.expect("timeout events only exist with recovery armed");
+                    // Stale guard: the operation completed, or a later
+                    // attempt re-armed its own timeout.
+                    let current = match outstanding.get(&xid) {
+                        Some(o) if o.attempt == attempt => o,
+                        _ => return Step::Continue,
+                    };
+                    let (stream, thread) = (current.stream, current.thread);
+                    if attempt >= retry_cnt {
+                        outstanding.remove(&xid);
+                        counters.retry_exhausted += 1;
+                        // Abandon the operation; repost to keep the
+                        // closed loop at its window.
+                        eng.schedule(now, Ev::Post { stream, thread })
+                            .expect("repost is not in the past");
+                        return Step::Continue;
+                    }
+                    let Model::Client {
+                        machine,
+                        server_shard,
+                    } = &mut *model
+                    else {
+                        unreachable!("timeouts only arm on client shards")
+                    };
+                    let st = streams[stream as usize]
+                        .as_ref()
+                        .expect("timeout for a stream not installed on this shard");
+                    counters.retransmits += 1;
+                    let outbound = match st.verb {
+                        Verb::Read => 0,
+                        Verb::Write | Verb::Send => st.payload,
+                    };
+                    let nic_seen = now + machine.mmio_transit();
+                    let depart = machine.issue_with_wire(nic_seen, outbound, outbound);
+                    let o = outstanding.get_mut(&xid).expect("checked above");
+                    o.attempt += 1;
+                    outbox.push(NetMsg {
+                        src: *id,
+                        dst: *server_shard,
+                        seq: *out_seq,
+                        depart,
+                        bytes: outbound,
+                        kind: MsgKind::Request {
+                            verb: st.verb,
+                            payload: st.payload,
+                            addr: o.addr,
+                            endpoint: st.path.responder(),
+                            stream,
+                            thread,
+                            posted: o.posted,
+                            xid,
+                        },
+                    });
+                    *out_seq += 1;
+                    eng.schedule(
+                        depart + timeout,
+                        Ev::Timeout {
+                            xid,
+                            attempt: attempt + 1,
+                        },
+                    )
+                    .expect("timeout is in the future");
+                }
             }
             Step::Continue
         });

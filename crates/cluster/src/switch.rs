@@ -9,6 +9,7 @@
 //! its downlink reservation *starts*, but the completion may not precede
 //! the downlink *finish* (the full transfer must have drained).
 
+use simnet::faults::{fault_key, FaultPlane, FaultSpec};
 use simnet::resource::Pipe;
 use simnet::time::Nanos;
 use topology::WireSpec;
@@ -49,6 +50,8 @@ pub struct SwitchFabric {
     groups: Vec<PortGroup>,
     latency: Nanos,
     routed: u64,
+    dropped: u64,
+    faults: Option<FaultPlane>,
 }
 
 /// Outcome of routing one message.
@@ -72,7 +75,16 @@ impl SwitchFabric {
                 .collect(),
             latency: wire.one_way_latency,
             routed: 0,
+            dropped: 0,
+            faults: None,
         }
+    }
+
+    /// Installs a fault schedule; inert specs install nothing (see
+    /// `simnet::faults`), keeping routing byte-identical to a faultless
+    /// build.
+    pub fn set_faults(&mut self, spec: FaultSpec) {
+        self.faults = FaultPlane::new(spec);
     }
 
     /// The conservative lookahead: no message can arrive earlier than
@@ -81,9 +93,14 @@ impl SwitchFabric {
         self.latency
     }
 
-    /// Messages routed so far.
+    /// Messages routed (delivered) so far.
     pub fn routed(&self) -> u64 {
         self.routed
+    }
+
+    /// Messages dropped by the fault plane so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Ports bonded by shard `i` (for tests and reports).
@@ -92,22 +109,34 @@ impl SwitchFabric {
     }
 
     /// Routes one message through source uplink and destination
-    /// downlink ports, returning its delivery instants.
+    /// downlink ports, returning its delivery instants — or `None` if
+    /// the fault plane loses the frame. A dropped frame still burns its
+    /// uplink reservation (it left the source NIC before dying) but
+    /// never touches the downlink. The verdict is a pure function of
+    /// `(src, seq)`, so it is identical for every worker count.
     ///
     /// # Panics
     ///
     /// Panics if the message names an unknown shard.
-    pub fn route(&mut self, m: &NetMsg) -> Delivery {
+    pub fn route(&mut self, m: &NetMsg) -> Option<Delivery> {
         let bytes = wire_bytes(m.bytes);
         let frames = wire_frames(m.bytes);
         let up = pick(&mut self.groups[m.src].up).reserve(m.depart, bytes, frames);
+        if let Some(plane) = self.faults.as_ref() {
+            if plane.has_stochastic_faults()
+                && plane.wire_verdict(fault_key(&[m.src as u64, m.seq]), 0)
+            {
+                self.dropped += 1;
+                return None;
+            }
+        }
         let down =
             pick(&mut self.groups[m.dst].down).reserve(up.start + self.latency, bytes, frames);
         self.routed += 1;
-        Delivery {
+        Some(Delivery {
             arrive: down.start,
             drained: down.finish,
-        }
+        })
     }
 }
 
@@ -128,6 +157,7 @@ mod tests {
                 stream: 0,
                 thread: 0,
                 posted: Nanos::ZERO,
+                xid: 0,
             },
         }
     }
@@ -150,10 +180,11 @@ mod tests {
     #[test]
     fn arrival_respects_lookahead() {
         let mut f = fabric();
-        let d = f.route(&msg(0, 1, 1000, 64));
+        let d = f.route(&msg(0, 1, 1000, 64)).expect("no faults installed");
         assert!(d.arrive >= Nanos::new(1000) + f.lookahead());
         assert!(d.drained >= d.arrive);
         assert_eq!(f.routed(), 1);
+        assert_eq!(f.dropped(), 0);
     }
 
     #[test]
@@ -163,15 +194,15 @@ mod tests {
         // queueing on top — the second arrival lands exactly one port
         // service time (== `a.drained - a.arrive`) after the first.
         let mut f = fabric();
-        let a = f.route(&msg(0, 1, 0, 4096));
-        let b = f.route(&msg(0, 1, 0, 4096));
+        let a = f.route(&msg(0, 1, 0, 4096)).unwrap();
+        let b = f.route(&msg(0, 1, 0, 4096)).unwrap();
         assert_eq!(b.arrive, a.drained, "dual downlink must not queue");
 
         // Server -> client: both uplink ports fire at t=0; the client's
         // single downlink port is what serializes the arrivals.
         let mut g = fabric();
-        let c = g.route(&msg(1, 0, 0, 4096));
-        let d = g.route(&msg(1, 0, 0, 4096));
+        let c = g.route(&msg(1, 0, 0, 4096)).unwrap();
+        let d = g.route(&msg(1, 0, 0, 4096)).unwrap();
         assert_eq!(c.arrive, g.lookahead());
         assert_eq!(d.arrive, c.drained, "single downlink must serialize");
     }
@@ -182,10 +213,41 @@ mod tests {
         let mut b = fabric();
         for i in 0..100u64 {
             let m = msg((i % 2) as usize, 1 - (i % 2) as usize, i * 37, 64 + i);
-            let da = a.route(&m);
-            let db = b.route(&m);
+            let da = a.route(&m).unwrap();
+            let db = b.route(&m).unwrap();
             assert_eq!(da.arrive, db.arrive);
             assert_eq!(da.drained, db.drained);
         }
+    }
+
+    #[test]
+    fn certain_loss_drops_every_frame_and_burns_uplink_only() {
+        use simnet::faults::FaultSpec;
+        let mut f = fabric();
+        f.set_faults(FaultSpec::none().with_wire_loss(1.0));
+        assert!(f.route(&msg(0, 1, 0, 4096)).is_none());
+        assert_eq!(f.dropped(), 1);
+        assert_eq!(f.routed(), 0);
+        // The dropped frame consumed the uplink: a healthy follow-up on
+        // the same port starts after the dead frame has serialized out.
+        f.set_faults(FaultSpec::none());
+        let d = f.route(&msg(0, 1, 0, 4096)).unwrap();
+        assert!(d.arrive > f.lookahead(), "uplink not burned: {:?}", d);
+    }
+
+    #[test]
+    fn loss_verdicts_depend_on_seq() {
+        use simnet::faults::FaultSpec;
+        let mut f = fabric();
+        f.set_faults(FaultSpec::none().with_wire_loss(0.5).with_seed(7));
+        let outcomes: Vec<bool> = (0..64)
+            .map(|s| {
+                let mut m = msg(0, 1, s * 1000, 64);
+                m.seq = s;
+                f.route(&m).is_some()
+            })
+            .collect();
+        assert!(outcomes.iter().any(|&d| d));
+        assert!(outcomes.iter().any(|&d| !d));
     }
 }

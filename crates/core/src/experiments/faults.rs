@@ -1,0 +1,251 @@
+//! Fault sweeps: retransmission cost per communication path.
+//!
+//! Three sweeps over the deterministic fault plane (`simnet::faults`):
+//!
+//! 1. **PCIe TLP corruption** — per-crossing corruption probability on
+//!    the SmartNIC's PCIe1 channel, swept per path. Every SmartNIC DMA
+//!    leg crosses PCIe1 once, and a path-3 composite crosses it *twice*
+//!    (read leg + write leg), so at equal per-crossing rate `p` a path-3
+//!    attempt fails with probability `~2p` versus `~p` on path 1 — the
+//!    off-path design structurally amplifies retransmission cost, which
+//!    the sweep's `retx_per_op` column shows directly.
+//! 2. **Wire loss** — frame loss on the network wire (remote paths cross
+//!    it twice per attempt: request + response). Goodput degrades
+//!    monotonically in the loss rate as the retry timeout eats the
+//!    window.
+//! 3. **Link retraining** — a scheduled Gen4->Gen1 degradation window
+//!    (the BF-2's documented failure mode), scaled by the raw-bandwidth
+//!    ratio of the two link configurations rather than a looked-up
+//!    constant.
+
+use nicsim::PathKind;
+use pcie_model::link::{PcieGen, PcieLinkSpec};
+use simnet::faults::{DegradedWindow, FaultSpec};
+use simnet::time::Nanos;
+
+use crate::harness::{run_scenario, Scenario, StreamResult, StreamSpec};
+use crate::report::{fmt_f, Table};
+
+use super::scenario;
+
+use nicsim::Verb;
+
+/// Payload used by every sweep point.
+const PAYLOAD: u64 = 512;
+
+/// Seed mixed into every stochastic verdict (fixed so the tables are
+/// reproducible down to the byte).
+const FAULT_SEED: u64 = 0x0ff0;
+
+/// The paths contrasted by the sweeps: path 1 through the SmartNIC (one
+/// PCIe1 crossing), path 2 to SoC memory (one crossing), and the path-3
+/// host-to-SoC composite (two crossings).
+pub const PATHS: [PathKind; 3] = [PathKind::Snic1, PathKind::Snic2, PathKind::Snic3H2S];
+
+/// Per-crossing fault probabilities swept.
+pub fn rates(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.0, 0.02, 0.08]
+    } else {
+        vec![0.0, 0.005, 0.01, 0.02, 0.04, 0.08]
+    }
+}
+
+/// A sweep-point scenario: a few clients are enough, the quantity under
+/// study is retransmission overhead rather than peak throughput.
+fn base(quick: bool) -> Scenario {
+    Scenario {
+        n_clients: 2,
+        ..scenario(quick)
+    }
+}
+
+fn stream(path: PathKind) -> StreamSpec {
+    // READ on remote paths, WRITE on the H2S composite (its paper-default
+    // workload); 4 threads keeps quick sweeps fast.
+    let verb = if path.is_remote() {
+        Verb::Read
+    } else {
+        Verb::Write
+    };
+    StreamSpec::new(path, verb, PAYLOAD, 2).with_threads(4)
+}
+
+/// Runs one sweep point and returns the stream result.
+pub fn point(quick: bool, path: PathKind, faults: FaultSpec) -> StreamResult {
+    let sc = base(quick).with_faults(faults);
+    run_scenario(&sc, &[stream(path)]).streams.remove(0)
+}
+
+/// Retransmissions per completed operation — the sensitivity metric the
+/// amplification claim is stated in.
+pub fn retx_per_op(r: &StreamResult) -> f64 {
+    r.retransmits as f64 / (r.latency.count as f64).max(1.0)
+}
+
+fn push_point(t: &mut Table, path: PathKind, rate: f64, r: &StreamResult) {
+    t.push(vec![
+        path.label().to_string(),
+        format!("{rate}"),
+        fmt_f(r.goodput.as_gbps()),
+        fmt_f(r.ops.as_mops()),
+        r.retransmits.to_string(),
+        fmt_f(retx_per_op(r)),
+        r.retry_exhausted.to_string(),
+    ]);
+}
+
+/// Runs the fault sweeps.
+pub fn run(quick: bool) -> Vec<Table> {
+    let cols = [
+        "path",
+        "rate",
+        "goodput_gbps",
+        "mops",
+        "retransmits",
+        "retx_per_op",
+        "retry_exhausted",
+    ];
+
+    let mut pcie = Table::new(
+        "Fault sweep: per-crossing PCIe1 TLP corruption (512 B, path-3 crosses twice)",
+        &cols,
+    );
+    for &path in &PATHS {
+        for &rate in &rates(quick) {
+            let spec = FaultSpec::none()
+                .with_seed(FAULT_SEED)
+                .with_pcie_corrupt(rate);
+            let r = point(quick, path, spec);
+            push_point(&mut pcie, path, rate, &r);
+        }
+    }
+
+    let mut wire = Table::new(
+        "Fault sweep: wire frame loss (512 B READ, remote paths cross the wire twice)",
+        &cols,
+    );
+    for &path in &[PathKind::Snic1, PathKind::Snic2] {
+        for &rate in &rates(quick) {
+            let spec = FaultSpec::none().with_seed(FAULT_SEED).with_wire_loss(rate);
+            let r = point(quick, path, spec);
+            push_point(&mut wire, path, rate, &r);
+        }
+    }
+
+    // Scheduled degradation: the PCIe complex retrains Gen4x16 -> Gen1x16
+    // for the whole measurement window; the slowdown factor comes from
+    // the two link configurations' raw bandwidths.
+    let healthy = PcieLinkSpec::new(PcieGen::Gen4, 16, 512, 512);
+    let slowdown = healthy.slowdown_versus(&healthy.degraded(PcieGen::Gen1, 16));
+    let mut retrain = Table::new(
+        "Scheduled fault: PCIe Gen4x16 -> Gen1x16 retraining window (512 B)",
+        &[
+            "path",
+            "healthy_gbps",
+            "retrained_gbps",
+            "slowdown_model",
+            "p99_ratio",
+        ],
+    );
+    for &path in &PATHS {
+        let h = point(quick, path, FaultSpec::none());
+        let window = DegradedWindow {
+            from: Nanos::ZERO,
+            to: Nanos::from_millis(100),
+            slowdown,
+            extra_latency: Nanos::ZERO,
+        };
+        let d = point(
+            quick,
+            path,
+            FaultSpec::none()
+                .with_seed(FAULT_SEED)
+                .with_pcie_window(window),
+        );
+        let p99_ratio = d.latency.p99.as_nanos() as f64 / h.latency.p99.as_nanos().max(1) as f64;
+        retrain.push(vec![
+            path.label().to_string(),
+            fmt_f(h.goodput.as_gbps()),
+            fmt_f(d.goodput.as_gbps()),
+            fmt_f(slowdown),
+            fmt_f(p99_ratio),
+        ]);
+    }
+
+    vec![pcie, wire, retrain]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_degrades_monotonically_in_pcie_rate() {
+        for &path in &PATHS {
+            let mut prev = f64::INFINITY;
+            for &rate in &rates(true) {
+                let spec = FaultSpec::none()
+                    .with_seed(FAULT_SEED)
+                    .with_pcie_corrupt(rate);
+                let r = point(true, path, spec);
+                let g = r.goodput.as_bytes_per_sec();
+                assert!(
+                    g <= prev,
+                    "{}: goodput must not rise with the fault rate ({prev} -> {g} at {rate})",
+                    path.label()
+                );
+                if rate > 0.0 {
+                    assert!(r.retransmits > 0, "{} saw no retransmits", path.label());
+                }
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn path3_amplifies_retransmission_cost_over_path1() {
+        // Two PCIe1 crossings per attempt vs one: at the same
+        // per-crossing corruption rate, path 3 must retransmit more per
+        // completed op than path 1 — mechanistically, not by tuning.
+        let spec = || {
+            FaultSpec::none()
+                .with_seed(FAULT_SEED)
+                .with_pcie_corrupt(0.04)
+        };
+        let p1 = point(true, PathKind::Snic1, spec());
+        let p3 = point(true, PathKind::Snic3H2S, spec());
+        let (s1, s3) = (retx_per_op(&p1), retx_per_op(&p3));
+        assert!(
+            s3 > s1,
+            "path 3 must be more sensitive: {s3:.4} vs {s1:.4} retx/op"
+        );
+    }
+
+    #[test]
+    fn wire_loss_degrades_remote_goodput() {
+        let healthy = point(true, PathKind::Snic1, FaultSpec::none());
+        let lossy = point(
+            true,
+            PathKind::Snic1,
+            FaultSpec::none().with_seed(FAULT_SEED).with_wire_loss(0.08),
+        );
+        assert!(lossy.goodput.as_gbps() < healthy.goodput.as_gbps());
+        assert!(lossy.retransmits > 0);
+    }
+
+    #[test]
+    fn retraining_window_throttles_goodput() {
+        let t = run(true);
+        let retrain = &t[2];
+        for row in &retrain.rows {
+            let healthy: f64 = row[1].parse().unwrap();
+            let degraded: f64 = row[2].parse().unwrap();
+            assert!(
+                degraded < healthy,
+                "retrained link must slow {}: {healthy} -> {degraded}",
+                row[0]
+            );
+        }
+    }
+}

@@ -10,10 +10,12 @@
 //! single responder — concurrency experiments (paths 1+2, 1+3) are just
 //! multi-stream scenarios.
 
-use nicsim::{Fabric, PathKind, RequestDesc, Verb};
+use nicsim::{Completion, Fabric, PathKind, RequestDesc, Verb};
 use pcie_model::counters::{LinkId, PcieCounters};
 use rdma_sim::doorbell::{PostCostModel, PostMode, PosterKind};
+use rdma_sim::transport::RcParams;
 use simnet::engine::{Engine, Step};
+use simnet::faults::{fault_key, FaultSpec};
 use simnet::metrics::{CounterId, Hop, HopBreakdown, Registry};
 use simnet::rng::SimRng;
 use simnet::stats::{Histogram, LatencySummary, RateMeter};
@@ -172,6 +174,13 @@ pub struct Scenario {
     /// Capacity of the scenario trace ring; `0` (the default) disables
     /// tracing entirely.
     pub trace_cap: usize,
+    /// Fault-injection schedule. The default ([`FaultSpec::none`]) is
+    /// inert: no fault plane is installed and the run is byte-identical
+    /// to one that never heard of faults.
+    pub faults: FaultSpec,
+    /// Transport reliability parameters used by the closed-loop driver
+    /// when stochastic faults are active (ack timeout and retry budget).
+    pub rc: RcParams,
 }
 
 impl Default for Scenario {
@@ -184,6 +193,8 @@ impl Default for Scenario {
             seed: 42,
             metrics: false,
             trace_cap: 0,
+            faults: FaultSpec::none(),
+            rc: RcParams::default(),
         }
     }
 }
@@ -217,6 +228,18 @@ impl Scenario {
         self.trace_cap = cap;
         self
     }
+
+    /// Installs a fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the transport reliability parameters.
+    pub fn with_rc(mut self, rc: RcParams) -> Self {
+        self.rc = rc;
+        self
+    }
 }
 
 /// Per-stream measurement outcome.
@@ -230,6 +253,11 @@ pub struct StreamResult {
     pub ops: Rate,
     /// Payload goodput.
     pub goodput: Bandwidth,
+    /// Transport retransmissions over the measurement window (0 unless
+    /// stochastic faults are active).
+    pub retransmits: u64,
+    /// Operations abandoned after exhausting the retry budget.
+    pub retry_exhausted: u64,
 }
 
 /// Measured per-hop latency attribution of one stream, aggregated over
@@ -359,6 +387,7 @@ struct ThreadState {
     cpu_free: Nanos,
     next_allowed: Nanos,
     rng: SimRng,
+    posts: u64,
 }
 
 struct StreamState {
@@ -371,6 +400,8 @@ struct StreamState {
     bd_sum: HopBreakdown,
     bd_count: u64,
     e2e_sum: Nanos,
+    retransmits: u64,
+    retry_exhausted: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -433,6 +464,7 @@ pub fn run_scenario_detailed(
                         cpu_free: Nanos::ZERO,
                         next_allowed: Nanos::ZERO,
                         rng: root_rng.fork(i as u64),
+                        posts: 0,
                     })
                     .collect(),
                 hist: Histogram::new(),
@@ -441,10 +473,18 @@ pub fn run_scenario_detailed(
                 bd_sum: HopBreakdown::new(),
                 bd_count: 0,
                 e2e_sum: Nanos::ZERO,
+                retransmits: 0,
+                retry_exhausted: 0,
                 spec: spec.clone(),
             }
         })
         .collect();
+
+    // Fault plane: an inert spec installs nothing (see simnet::faults),
+    // so a default scenario runs the exact same instruction stream as
+    // one with `faults` explicitly set to `FaultSpec::none()`.
+    fabric.set_faults(scenario.faults.clone());
+    let rc = scenario.rc;
 
     // Metrics registry and trace ring (no-ops unless opted in).
     let metrics_on = scenario.metrics;
@@ -454,6 +494,8 @@ pub fn run_scenario_detailed(
     let c_completed = registry.counter("requests_completed");
     let c_deferred = registry.counter("posts_deferred");
     let c_late = registry.counter("completions_past_horizon");
+    let c_retrans = registry.counter("rc_retransmits");
+    let c_exhausted = registry.counter("rc_retry_exhausted");
     let h_other = registry.histogram("attribution_other_ns");
     let post_ctrs: Vec<CounterId> = states
         .iter()
@@ -525,13 +567,69 @@ pub fn run_scenario_detailed(
             0
         };
         let req = RequestDesc::new(spec.verb, spec.path, spec.payload, addr, client);
-        let (c, bd) = if metrics_on {
-            let (c, bd) = fabric.execute_attributed(posted, req);
-            registry.inc(c_posted);
-            registry.inc(post_ctrs[ev.stream]);
-            (c, Some(bd))
-        } else {
-            (fabric.execute(posted, req), None)
+        let post_idx = th.posts;
+        th.posts += 1;
+        let stochastic = fabric
+            .faults()
+            .map(|p| p.has_stochastic_faults())
+            .unwrap_or(false);
+        // Reliable-transport loop. Each attempt burns full fabric
+        // resources (loss is detected only after the frame crossed every
+        // hop); the requester times out `rc.timeout` later and
+        // retransmits, up to `rc.retry_cnt` retries before abandoning
+        // the operation (no completion recorded; the closed loop
+        // reposts). With no stochastic faults this collapses to the
+        // single execute of the fault-free fast path.
+        let mut t = posted;
+        let mut attempt: u32 = 0;
+        let (c, bd) = loop {
+            fabric.apply_fault_windows(t);
+            let (c, bd) = if metrics_on {
+                let (c, bd) = fabric.execute_attributed(t, req);
+                if attempt == 0 {
+                    registry.inc(c_posted);
+                    registry.inc(post_ctrs[ev.stream]);
+                }
+                (c, Some(bd))
+            } else {
+                (fabric.execute(t, req), None)
+            };
+            if !stochastic {
+                break (c, bd);
+            }
+            let failed = fabric
+                .faults()
+                .map(|p| {
+                    p.attempt_fails(
+                        fault_key(&[
+                            ev.stream as u64,
+                            ev.thread as u64,
+                            post_idx,
+                            u64::from(attempt),
+                        ]),
+                        spec.path.wire_crossings(),
+                        spec.path.pcie1_crossings(),
+                    )
+                })
+                .unwrap_or(false);
+            if !failed {
+                break (Completion { posted, ..c }, bd);
+            }
+            if attempt >= rc.retry_cnt {
+                st.retry_exhausted += 1;
+                if metrics_on {
+                    registry.inc(c_exhausted);
+                }
+                eng.schedule((t + rc.timeout).max(now), ev)
+                    .expect("repost after retry exhaustion");
+                return;
+            }
+            st.retransmits += 1;
+            if metrics_on {
+                registry.inc(c_retrans);
+            }
+            t += rc.timeout;
+            attempt += 1;
         };
         if trace.is_enabled() {
             trace.record(
@@ -597,6 +695,8 @@ pub fn run_scenario_detailed(
         st.bd_sum = HopBreakdown::new();
         st.bd_count = 0;
         st.e2e_sum = Nanos::ZERO;
+        st.retransmits = 0;
+        st.retry_exhausted = 0;
     }
     registry.reset_values();
     let snap = fabric.server.counters().snapshot();
@@ -640,6 +740,8 @@ pub fn run_scenario_detailed(
                 latency: st.hist.summary(),
                 ops: Rate::per_sec(st.meter.ops() as f64 / wsecs),
                 goodput: Bandwidth::bytes_per_sec(st.meter.bytes() as f64 / wsecs),
+                retransmits: st.retransmits,
+                retry_exhausted: st.retry_exhausted,
             })
             .collect(),
         counters,

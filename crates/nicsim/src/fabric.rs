@@ -5,6 +5,7 @@
 //! generation on top of this lives in `snic-core::harness`.
 
 use memsys::MemOp;
+use simnet::faults::{FaultPlane, FaultSpec};
 use simnet::metrics::{Hop, HopBreakdown};
 use simnet::resource::Dir;
 use simnet::time::Nanos;
@@ -24,6 +25,9 @@ pub struct Fabric {
     /// Requester machines.
     pub clients: Vec<ClientMachine>,
     wire: WireSpec,
+    /// Fault-injection plane (`None` = healthy hardware; inert specs
+    /// never install one, keeping the healthy path byte-identical).
+    faults: Option<FaultPlane>,
 }
 
 /// A request/response exchange handled by a processor on the server
@@ -58,6 +62,7 @@ impl Fabric {
                 .map(|_| ClientMachine::new(MachineSpec::cli()))
                 .collect(),
             wire,
+            faults: None,
         }
     }
 
@@ -87,6 +92,34 @@ impl Fabric {
     /// Whether per-request attribution is recording.
     pub fn metrics_enabled(&self) -> bool {
         self.server.spans().is_enabled()
+    }
+
+    /// Installs a fault schedule. Inert specs install nothing, so the
+    /// healthy path stays branch-for-branch identical to a fabric that
+    /// never heard of faults.
+    pub fn set_faults(&mut self, spec: FaultSpec) {
+        self.faults = FaultPlane::new(spec);
+    }
+
+    /// The installed fault plane, if any.
+    pub fn faults(&self) -> Option<&FaultPlane> {
+        self.faults.as_ref()
+    }
+
+    /// Applies the fault plane's scheduled windows (PCIe degradation,
+    /// SoC stalls) in effect at instant `at` to the server machine.
+    /// Transports call this once per attempt; a no-op without windows.
+    pub fn apply_fault_windows(&mut self, at: Nanos) {
+        let Some(plane) = self.faults.as_ref() else {
+            return;
+        };
+        if !plane.has_windows() {
+            return;
+        }
+        let (slowdown, extra) = plane.pcie_degradation(at);
+        let stall = plane.soc_stall(at);
+        self.server.set_pcie_degradation(slowdown, extra);
+        self.server.set_soc_stall(stall);
     }
 
     /// Like [`Fabric::execute`], but also attributes the request's

@@ -83,6 +83,30 @@ impl PathKind {
         }
     }
 
+    /// How many times one transport attempt on this path crosses the
+    /// SmartNIC's PCIe1 channel (NIC cores <-> internal switch). Every
+    /// DMA between the NIC and either memory traverses it once; a path-3
+    /// composite traverses it twice (read leg + write leg). This drives
+    /// the fault plane's per-crossing TLP-corruption verdicts — the
+    /// mechanistic reason path 3 amplifies retransmission cost.
+    pub fn pcie1_crossings(self) -> u64 {
+        match self {
+            PathKind::Rnic1 => 0,
+            PathKind::Snic1 | PathKind::Snic2 => 1,
+            PathKind::Snic3S2H | PathKind::Snic3H2S => 2,
+        }
+    }
+
+    /// How many network-wire crossings one attempt makes (request +
+    /// response frames for remote paths; path 3 never touches the wire).
+    pub fn wire_crossings(self) -> u64 {
+        if self.is_remote() {
+            2
+        } else {
+            0
+        }
+    }
+
     /// All paths, in figure order.
     pub const ALL: [PathKind; 5] = [
         PathKind::Rnic1,

@@ -104,6 +104,13 @@ pub struct ServerMachine {
     /// Residency spans of the request currently in flight (disabled by
     /// default; the fabric enables it and clears it per request).
     spans: SpanSet,
+
+    /// Extra per-hop latency while the PCIe fabric is degraded (fault
+    /// injection; zero when healthy).
+    pcie_extra_latency: Nanos,
+    /// Extra per-message SoC handler time during a stall window (fault
+    /// injection; zero when healthy).
+    soc_stall: Nanos,
 }
 
 impl ServerMachine {
@@ -141,9 +148,32 @@ impl ServerMachine {
             soc_cpu: smart.map(|s| MultiServer::new(s.soc.cores as usize)),
             counters: PcieCounters::new(),
             spans: SpanSet::disabled(),
+            pcie_extra_latency: Nanos::ZERO,
+            soc_stall: Nanos::ZERO,
             smart,
             spec,
         }
+    }
+
+    /// Applies (or clears, with `(1.0, 0)`) a PCIe degradation: all PCIe
+    /// pipes of the machine serve `slowdown` times slower and every hop
+    /// pays `extra_latency` (link retrained to a lower generation — see
+    /// `simnet::faults::DegradedWindow`).
+    pub fn set_pcie_degradation(&mut self, slowdown: f64, extra_latency: Nanos) {
+        self.pcie0.set_derate(slowdown);
+        if let Some(p) = self.pcie1.as_mut() {
+            p.set_derate(slowdown);
+        }
+        if let Some(a) = self.attach.as_mut() {
+            a.set_derate(slowdown);
+        }
+        self.pcie_extra_latency = extra_latency;
+    }
+
+    /// Applies (or clears, with zero) a transient SoC-core stall: every
+    /// SoC-handled message pays `stall` extra service time.
+    pub fn set_soc_stall(&mut self, stall: Nanos) {
+        self.soc_stall = stall;
     }
 
     /// The machine spec.
@@ -247,6 +277,10 @@ impl ServerMachine {
 
     /// One-way latency from NIC cores to `ep`'s memory.
     pub fn access_latency(&self, ep: Endpoint) -> Nanos {
+        self.pcie_extra_latency + self.base_access_latency(ep)
+    }
+
+    fn base_access_latency(&self, ep: Endpoint) -> Nanos {
         match (&self.smart, ep) {
             (None, Endpoint::Host) => {
                 self.spec.host.pcie_latency + self.spec.host.root_complex_latency
@@ -741,7 +775,7 @@ impl ServerMachine {
             }
             Endpoint::Soc => {
                 let s = *self.smart.as_ref().expect("SoC endpoint needs a SmartNIC");
-                let t = s.soc.msg_handle_time;
+                let t = s.soc.msg_handle_time + self.soc_stall;
                 let extra = s.soc.msg_extra_latency;
                 self.soc_cpu
                     .as_mut()

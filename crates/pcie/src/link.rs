@@ -15,8 +15,16 @@ use simnet::time::Bandwidth;
 pub const TLP_OVERHEAD_BYTES: u64 = 26;
 
 /// PCIe generation (transfer rate per lane).
+///
+/// Gen1/Gen2 exist for *degraded-link* modeling: a marginal link (bad
+/// riser, signal-integrity fault) retrains to a lower generation, a mode
+/// Liu et al. observed on Bluefield-2 deployments (Gen4 -> Gen1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PcieGen {
+    /// 2.5 GT/s per lane, 8b/10b encoding (degraded-link mode).
+    Gen1,
+    /// 5 GT/s per lane, 8b/10b encoding (degraded-link mode).
+    Gen2,
     /// 8 GT/s per lane, 128b/130b encoding.
     Gen3,
     /// 16 GT/s per lane, 128b/130b encoding.
@@ -29,15 +37,21 @@ impl PcieGen {
     /// Raw transfer rate per lane in gigatransfers/s (= Gb/s pre-encoding).
     pub fn gt_per_lane(self) -> f64 {
         match self {
+            PcieGen::Gen1 => 2.5,
+            PcieGen::Gen2 => 5.0,
             PcieGen::Gen3 => 8.0,
             PcieGen::Gen4 => 16.0,
             PcieGen::Gen5 => 32.0,
         }
     }
 
-    /// Line-encoding efficiency (128b/130b for Gen3+).
+    /// Line-encoding efficiency (8b/10b through Gen2, 128b/130b from
+    /// Gen3 on).
     pub fn encoding_efficiency(self) -> f64 {
-        128.0 / 130.0
+        match self {
+            PcieGen::Gen1 | PcieGen::Gen2 => 0.8,
+            PcieGen::Gen3 | PcieGen::Gen4 | PcieGen::Gen5 => 128.0 / 130.0,
+        }
     }
 }
 
@@ -123,6 +137,23 @@ impl PcieLinkSpec {
         let tlps = crate::tlp::tlp_count(payload_bytes, self.mps);
         payload_bytes + tlps * TLP_OVERHEAD_BYTES
     }
+
+    /// This link retrained to a lower generation and/or width — same
+    /// negotiated MPS/MRRS, degraded signaling (fault injection).
+    pub fn degraded(&self, gen: PcieGen, lanes: u32) -> Self {
+        PcieLinkSpec::new(gen, lanes, self.mps, self.mrrs)
+    }
+
+    /// How many times slower `to` serves the same transfer than this
+    /// link: the raw-bandwidth ratio. This is the mechanistic source of
+    /// a `DegradedWindow`'s slowdown factor — e.g. Gen4 x16 retraining
+    /// to Gen1 x16 yields 16/2.5 * (128/130)/0.8 ~ 7.9.
+    pub fn slowdown_versus(&self, to: &PcieLinkSpec) -> f64 {
+        let healthy = self.raw_bandwidth().as_gbps();
+        let degraded = to.raw_bandwidth().as_gbps();
+        assert!(degraded > 0.0, "degraded link must still move bits");
+        (healthy / degraded).max(1.0)
+    }
 }
 
 #[cfg(test)]
@@ -131,9 +162,29 @@ mod tests {
 
     #[test]
     fn gen_rates() {
+        assert_eq!(PcieGen::Gen1.gt_per_lane(), 2.5);
+        assert_eq!(PcieGen::Gen2.gt_per_lane(), 5.0);
         assert_eq!(PcieGen::Gen3.gt_per_lane(), 8.0);
         assert_eq!(PcieGen::Gen4.gt_per_lane(), 16.0);
         assert_eq!(PcieGen::Gen5.gt_per_lane(), 32.0);
+        // Legacy generations use 8b/10b encoding.
+        assert_eq!(PcieGen::Gen1.encoding_efficiency(), 0.8);
+        assert_eq!(PcieGen::Gen2.encoding_efficiency(), 0.8);
+    }
+
+    #[test]
+    fn degraded_retrain_and_slowdown() {
+        let healthy = PcieLinkSpec::new(PcieGen::Gen4, 16, 512, 512);
+        let degraded = healthy.degraded(PcieGen::Gen1, 16);
+        assert_eq!(degraded.mps, healthy.mps);
+        assert_eq!(degraded.mrrs, healthy.mrrs);
+        let s = healthy.slowdown_versus(&degraded);
+        // 16 GT/s * 128/130 vs 2.5 GT/s * 0.8 per lane.
+        let expect = (16.0 * 128.0 / 130.0) / (2.5 * 0.8);
+        assert!((s - expect).abs() < 0.01, "slowdown {s} vs {expect}");
+        // Same link: no slowdown; never below 1.
+        assert_eq!(healthy.slowdown_versus(&healthy), 1.0);
+        assert_eq!(degraded.slowdown_versus(&healthy), 1.0);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! * *inline* sends (payload copied into the WQE, skipping the payload
 //!   DMA on the requester NIC) with the device's inline size cap;
 //! * receive-queue depth accounting with RNR (receiver-not-ready)
-//!   failures when SENDs outrun posted RECVs.
+//!   failures when SENDs outrun posted RECVs;
+//! * IB-style RC reliability ([`RcParams`]): transport retransmission
+//!   with an ack timeout and `retry_cnt` budget, RNR NAK exponential
+//!   backoff, and QP transition to `Error` on retry exhaustion, with
+//!   per-QP [`RcCounters`].
 
 use simnet::time::Nanos;
 
@@ -107,7 +111,76 @@ pub const MAX_INLINE: u64 = 220;
 /// queue (every N posts).
 pub const SIGNAL_INTERVAL: u64 = 64;
 
+/// RC transport reliability parameters (the ibverbs QP attributes the
+/// paper's framework leaves at their defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RcParams {
+    /// Transport retry budget: how many times a timed-out attempt is
+    /// retransmitted before the QP moves to `Error` (ibverbs
+    /// `retry_cnt`, 3 bits, max 7).
+    pub retry_cnt: u32,
+    /// RNR retry budget before the QP moves to `Error` (ibverbs
+    /// `rnr_retry`; 7 means "infinite" on real hardware, modelled here
+    /// as a plain budget so tests terminate).
+    pub rnr_retry: u32,
+    /// Ack timeout: how long the requester waits for the response of an
+    /// attempt before declaring it lost and retransmitting.
+    pub timeout: Nanos,
+    /// First RNR NAK backoff delay; doubles per consecutive RNR up to
+    /// [`RcParams::rnr_delay_max`].
+    pub rnr_delay_base: Nanos,
+    /// Backoff ladder cap.
+    pub rnr_delay_max: Nanos,
+}
+
+impl Default for RcParams {
+    fn default() -> Self {
+        RcParams {
+            retry_cnt: 7,
+            rnr_retry: 7,
+            // ~4x the worst small-request RTT on the testbed: early
+            // enough to matter, late enough to avoid spurious retries.
+            timeout: Nanos::from_micros(20),
+            rnr_delay_base: Nanos::new(640),
+            rnr_delay_max: Nanos::from_micros(40),
+        }
+    }
+}
+
+impl RcParams {
+    /// The RNR backoff delay before retry number `attempt` (0-based):
+    /// `min(base << attempt, max)` — a truncated binary exponential
+    /// ladder like the ibverbs RNR timer field encodes.
+    pub fn rnr_delay(&self, attempt: u32) -> Nanos {
+        let shifted = self
+            .rnr_delay_base
+            .as_nanos()
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        Nanos::new(shifted.min(self.rnr_delay_max.as_nanos()))
+    }
+}
+
+/// Per-QP reliability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RcCounters {
+    /// Transport attempts issued (first tries + retransmissions).
+    pub attempts: u64,
+    /// Retransmissions after an ack timeout.
+    pub retransmits: u64,
+    /// Posts that exhausted `retry_cnt` and errored the QP.
+    pub retry_exhausted: u64,
+    /// RNR NAKs received (peer receive queue empty at arrival).
+    pub rnr_naks: u64,
+    /// Total simulated time spent in RNR backoff.
+    pub rnr_backoff: Nanos,
+}
+
 /// A receive queue with depth accounting.
+///
+/// An optional *replenish interval* models a responder application that
+/// reposts one receive every `interval` of simulated time — the state a
+/// requester's RNR backoff ladder is waiting out. Without it the queue
+/// is purely credit-counted, exactly as before.
 #[derive(Debug, Clone)]
 pub struct RecvQueue {
     depth: usize,
@@ -116,6 +189,10 @@ pub struct RecvQueue {
     /// reposts its receives in a loop).
     pub auto_replenish: bool,
     rnr_events: u64,
+    replenish_every: Option<Nanos>,
+    /// Time-based credits granted so far (monotone in the `now` passed
+    /// to [`RecvQueue::consume_at`]).
+    granted: u64,
 }
 
 impl RecvQueue {
@@ -126,6 +203,8 @@ impl RecvQueue {
             posted: 0,
             auto_replenish: false,
             rnr_events: 0,
+            replenish_every: None,
+            granted: 0,
         }
     }
 
@@ -136,7 +215,15 @@ impl RecvQueue {
             posted: depth,
             auto_replenish: true,
             rnr_events: 0,
+            replenish_every: None,
+            granted: 0,
         }
+    }
+
+    /// Models a responder that reposts one receive every `interval`
+    /// (starting at `interval`, via [`RecvQueue::consume_at`]).
+    pub fn set_replenish_interval(&mut self, interval: Nanos) {
+        self.replenish_every = Some(interval);
     }
 
     /// Posts `n` receive WQEs. Returns how many actually fit.
@@ -148,6 +235,23 @@ impl RecvQueue {
 
     /// Consumes one receive for an inbound SEND; `false` = RNR.
     pub fn consume(&mut self) -> bool {
+        self.consume_at(Nanos::ZERO)
+    }
+
+    /// Consumes one receive at simulated instant `now`, counting any
+    /// interval-replenished credits that accrued by then; `false` = RNR.
+    pub fn consume_at(&mut self, now: Nanos) -> bool {
+        if let Some(iv) = self.replenish_every {
+            // One repost at t = iv, 2*iv, ...; a tick that finds the
+            // queue full is skipped (the responder has nothing to do).
+            let due = now.as_nanos() / iv.as_nanos().max(1);
+            while self.granted < due {
+                self.granted += 1;
+                if self.posted < self.depth {
+                    self.posted += 1;
+                }
+            }
+        }
         if self.posted == 0 {
             self.rnr_events += 1;
             return false;
@@ -241,6 +345,47 @@ mod tests {
         assert_eq!(rq.rnr_events(), 1);
         assert_eq!(rq.post(1), 1);
         assert!(rq.consume());
+    }
+
+    #[test]
+    fn rnr_ladder_doubles_and_caps() {
+        let p = RcParams {
+            rnr_delay_base: Nanos::new(100),
+            rnr_delay_max: Nanos::new(450),
+            ..RcParams::default()
+        };
+        assert_eq!(p.rnr_delay(0), Nanos::new(100));
+        assert_eq!(p.rnr_delay(1), Nanos::new(200));
+        assert_eq!(p.rnr_delay(2), Nanos::new(400));
+        assert_eq!(p.rnr_delay(3), Nanos::new(450), "capped");
+        assert_eq!(p.rnr_delay(63), Nanos::new(450));
+        assert_eq!(p.rnr_delay(64), Nanos::new(450), "shift overflow safe");
+    }
+
+    #[test]
+    fn replenish_interval_grants_credits_over_time() {
+        let mut rq = RecvQueue::new(4);
+        rq.set_replenish_interval(Nanos::new(100));
+        assert!(!rq.consume_at(Nanos::new(50)), "nothing reposted yet");
+        assert!(rq.consume_at(Nanos::new(100)), "first repost due");
+        assert!(!rq.consume_at(Nanos::new(150)), "credit already used");
+        // Two more ticks passed by t=350 (t=200, t=300).
+        assert!(rq.consume_at(Nanos::new(350)));
+        assert!(rq.consume_at(Nanos::new(350)));
+        assert!(!rq.consume_at(Nanos::new(350)));
+        assert_eq!(rq.rnr_events(), 3);
+    }
+
+    #[test]
+    fn replenish_ticks_skip_when_full() {
+        let mut rq = RecvQueue::new(2);
+        rq.set_replenish_interval(Nanos::new(10));
+        // 100 ticks due, but only 2 fit; the rest are skipped, not
+        // banked.
+        assert!(rq.consume_at(Nanos::new(1000)));
+        assert!(rq.consume_at(Nanos::new(1000)));
+        assert!(!rq.consume_at(Nanos::new(1000)));
+        assert_eq!(rq.available(), 0);
     }
 
     #[test]

@@ -18,11 +18,13 @@ use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 use nicsim::{Completion, Endpoint, Fabric, PathKind, RequestDesc, Verb};
+use simnet::faults::fault_key;
 use simnet::time::Nanos;
 
 use crate::doorbell::{PostCostModel, PostMode, PosterKind};
 use crate::transport::{
-    check_transition, QpState, RecvQueue, SendFlags, SignalTracker, MAX_INLINE,
+    check_transition, QpState, RcCounters, RcParams, RecvQueue, SendFlags, SignalTracker,
+    MAX_INLINE,
 };
 
 /// Errors surfaced by the verbs layer.
@@ -59,6 +61,12 @@ pub enum RdmaError {
         /// Device maximum.
         max: u64,
     },
+    /// The transport retry budget (`retry_cnt`) was exhausted; the QP
+    /// has moved to [`QpState::Error`].
+    RetryExceeded {
+        /// Attempts made (first try + retransmissions).
+        attempts: u32,
+    },
 }
 
 impl core::fmt::Display for RdmaError {
@@ -81,6 +89,12 @@ impl core::fmt::Display for RdmaError {
             RdmaError::InlineTooLarge { len, max } => {
                 write!(f, "inline payload {len} exceeds device cap {max}")
             }
+            RdmaError::RetryExceeded { attempts } => {
+                write!(
+                    f,
+                    "transport retry budget exhausted after {attempts} attempts"
+                )
+            }
         }
     }
 }
@@ -94,6 +108,7 @@ pub type FabricRef = Rc<RefCell<Fabric>>;
 pub struct Context {
     fabric: FabricRef,
     next_pd: Rc<RefCell<u32>>,
+    next_qp: Rc<RefCell<u64>>,
 }
 
 impl Context {
@@ -102,6 +117,7 @@ impl Context {
         Context {
             fabric: Rc::new(RefCell::new(fabric)),
             next_pd: Rc::new(RefCell::new(0)),
+            next_qp: Rc::new(RefCell::new(0)),
         }
     }
 
@@ -117,6 +133,7 @@ impl Context {
         Pd {
             fabric: Rc::clone(&self.fabric),
             id: *id,
+            next_qp: Rc::clone(&self.next_qp),
         }
     }
 }
@@ -125,6 +142,7 @@ impl Context {
 pub struct Pd {
     fabric: FabricRef,
     id: u32,
+    next_qp: Rc<RefCell<u64>>,
 }
 
 impl Pd {
@@ -158,9 +176,15 @@ impl Pd {
                 _ => PostCostModel::new(f.server.spec(), poster),
             }
         };
+        let qp_num = {
+            let mut n = self.next_qp.borrow_mut();
+            *n += 1;
+            *n
+        };
         Qp {
             fabric: Rc::clone(&self.fabric),
             pd_id: self.id,
+            qp_num,
             qp_type,
             path,
             client,
@@ -168,6 +192,8 @@ impl Pd {
             next_wr: 0,
             post_mode: PostMode::Mmio,
             cost,
+            rc: RcParams::default(),
+            rc_counters: RcCounters::default(),
             // Convenience: pre-connected (RTS) with an echo-server-style
             // self-replenishing peer receive queue — the paper's
             // benchmark setup. Use `create_qp_reset` for the full state
@@ -309,6 +335,7 @@ pub enum QpType {
 pub struct Qp {
     fabric: FabricRef,
     pd_id: u32,
+    qp_num: u64,
     qp_type: QpType,
     path: PathKind,
     client: usize,
@@ -316,6 +343,8 @@ pub struct Qp {
     next_wr: u64,
     post_mode: PostMode,
     cost: PostCostModel,
+    rc: RcParams,
+    rc_counters: RcCounters,
     state: QpState,
     peer_rq: RecvQueue,
     signals: SignalTracker,
@@ -351,6 +380,33 @@ impl Qp {
     /// RNR events this QP has observed.
     pub fn rnr_events(&self) -> u64 {
         self.peer_rq.rnr_events()
+    }
+
+    /// The fabric-unique queue-pair number (keys fault verdicts).
+    pub fn qp_num(&self) -> u64 {
+        self.qp_num
+    }
+
+    /// The RC reliability parameters in effect.
+    pub fn rc_params(&self) -> RcParams {
+        self.rc
+    }
+
+    /// Overrides the RC reliability parameters (retry budget, ack
+    /// timeout, RNR backoff ladder).
+    pub fn set_rc_params(&mut self, params: RcParams) {
+        self.rc = params;
+    }
+
+    /// Transport-reliability counters accumulated by this QP.
+    pub fn rc_counters(&self) -> RcCounters {
+        self.rc_counters
+    }
+
+    /// Mutable access to the peer receive queue (tests configure
+    /// replenish cadence through this).
+    pub fn peer_rq_mut(&mut self) -> &mut RecvQueue {
+        &mut self.peer_rq
     }
 
     /// Sets the posting mode (MMIO vs doorbell batching).
@@ -470,8 +526,34 @@ impl Qp {
                 });
             }
         }
-        if verb == Verb::Send && !self.peer_rq.consume() {
-            return Err(RdmaError::ReceiverNotReady);
+        // A SEND needs a posted receive on the responder. UD has no
+        // acknowledged recovery: the datagram is dropped and the post
+        // fails immediately. RC walks the RNR-NAK backoff ladder,
+        // retrying after exponentially growing delays until a receive
+        // appears or `rnr_retry` is exhausted (-> Error, as real HCAs).
+        let mut start = now;
+        if verb == Verb::Send {
+            match self.qp_type {
+                QpType::Ud => {
+                    if !self.peer_rq.consume() {
+                        return Err(RdmaError::ReceiverNotReady);
+                    }
+                }
+                QpType::Rc => {
+                    let mut rnr_attempt: u32 = 0;
+                    while !self.peer_rq.consume_at(start) {
+                        self.rc_counters.rnr_naks += 1;
+                        if rnr_attempt >= self.rc.rnr_retry {
+                            self.state = QpState::Error;
+                            return Err(RdmaError::ReceiverNotReady);
+                        }
+                        let delay = self.rc.rnr_delay(rnr_attempt);
+                        self.rc_counters.rnr_backoff += delay;
+                        start += delay;
+                        rnr_attempt += 1;
+                    }
+                }
+            }
         }
         let responder = self.path.responder();
         if mr.location != responder {
@@ -487,7 +569,56 @@ impl Qp {
         if flags.inline {
             desc = desc.with_inline();
         }
-        let timing = self.fabric.borrow_mut().execute(now, desc);
+        let timing = if self.qp_type == QpType::Rc {
+            // RC reliability: each attempt burns full fabric resources
+            // (loss is detected at the far end or on the ack leg, after
+            // the frame has crossed every hop); the requester times out
+            // `rc.timeout` after the attempt and retransmits, up to
+            // `retry_cnt` retries before the QP faults to Error with no
+            // CQE — the application observes it via the Err return.
+            let mut attempt: u32 = 0;
+            let mut t = start;
+            loop {
+                self.rc_counters.attempts += 1;
+                let (att_timing, failed) = {
+                    let mut f = self.fabric.borrow_mut();
+                    f.apply_fault_windows(t);
+                    let att_timing = f.execute(t, desc);
+                    let failed = f
+                        .faults()
+                        .filter(|p| p.has_stochastic_faults())
+                        .map(|p| {
+                            p.attempt_fails(
+                                fault_key(&[self.qp_num, wr_id, u64::from(attempt)]),
+                                self.path.wire_crossings(),
+                                self.path.pcie1_crossings(),
+                            )
+                        })
+                        .unwrap_or(false);
+                    (att_timing, failed)
+                };
+                if !failed {
+                    break Completion {
+                        posted: now,
+                        ..att_timing
+                    };
+                }
+                if attempt >= self.rc.retry_cnt {
+                    self.rc_counters.retry_exhausted += 1;
+                    self.state = QpState::Error;
+                    return Err(RdmaError::RetryExceeded {
+                        attempts: attempt + 1,
+                    });
+                }
+                self.rc_counters.retransmits += 1;
+                t += self.rc.timeout;
+                attempt += 1;
+            }
+        } else {
+            let mut f = self.fabric.borrow_mut();
+            f.apply_fault_windows(now);
+            f.execute(now, desc)
+        };
         if self.signals.on_post(flags) {
             self.cq.push(timing.completed, wr_id, timing);
         }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod prop;
 pub mod resource;
@@ -32,6 +33,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, Step};
+pub use faults::{fault_key, DegradedWindow, FaultPlane, FaultSpec, StallWindow};
 pub use metrics::{CounterId, HistogramId, Hop, HopBreakdown, Registry, SpanSet};
 pub use resource::{Dir, DuplexPipe, MultiServer, Pipe, Reservation, Server};
 pub use rng::SimRng;

@@ -177,6 +177,9 @@ pub struct Pipe {
     server: Server,
     bytes: u64,
     items: u64,
+    /// Service-time multiplier for degraded operation (fault injection:
+    /// a link retrained to a lower PCIe generation/width). 1.0 = healthy.
+    derate: f64,
 }
 
 impl Pipe {
@@ -188,6 +191,7 @@ impl Pipe {
             server: Server::new(),
             bytes: 0,
             items: 0,
+            derate: 1.0,
         }
     }
 
@@ -199,12 +203,25 @@ impl Pipe {
             server: Server::new(),
             bytes: 0,
             items: 0,
+            derate: 1.0,
         }
     }
 
     /// The configured byte bandwidth.
     pub fn bandwidth(&self) -> Bandwidth {
         self.bandwidth
+    }
+
+    /// Sets the degradation multiplier: subsequent reservations take
+    /// `factor` times as long (`factor < 1` is clamped to healthy).
+    /// Costs a single comparison per reservation when healthy.
+    pub fn set_derate(&mut self, factor: f64) {
+        self.derate = factor.max(1.0);
+    }
+
+    /// The current degradation multiplier (1.0 = healthy).
+    pub fn derate(&self) -> f64 {
+        self.derate
     }
 
     /// Service time for a transfer, without reserving it.
@@ -218,7 +235,12 @@ impl Pipe {
             Some(r) => r.service_time(items),
             None => Nanos::ZERO,
         };
-        byte_time.max(item_time)
+        let t = byte_time.max(item_time);
+        if self.derate > 1.0 {
+            Nanos::from_nanos_f64(t.as_nanos() as f64 * self.derate)
+        } else {
+            t
+        }
     }
 
     /// Reserves the pipe for a transfer of `bytes` in `items` packets.
@@ -324,6 +346,13 @@ impl DuplexPipe {
     pub fn reserve(&mut self, dir: Dir, arrival: Nanos, bytes: u64, items: u64) -> Reservation {
         self.dir(dir).reserve(arrival, bytes, items)
     }
+
+    /// Sets the degradation multiplier on both directions (fault
+    /// injection: link retraining affects the whole link).
+    pub fn set_derate(&mut self, factor: f64) {
+        self.fwd.set_derate(factor);
+        self.rev.set_derate(factor);
+    }
 }
 
 #[cfg(test)]
@@ -410,6 +439,18 @@ mod tests {
         // Same direction would have queued:
         let f2 = d.reserve(Dir::Fwd, Nanos::ZERO, 1000, 1);
         assert_eq!(f2.start, Nanos::new(1000));
+    }
+
+    #[test]
+    fn derate_scales_service_and_resets() {
+        let mut p = Pipe::new(Bandwidth::gigabytes_per_sec(1.0));
+        assert_eq!(p.service_time(1000, 1), Nanos::new(1000));
+        p.set_derate(12.8);
+        assert_eq!(p.service_time(1000, 1), Nanos::new(12800));
+        // Sub-1.0 factors clamp to healthy.
+        p.set_derate(0.5);
+        assert_eq!(p.derate(), 1.0);
+        assert_eq!(p.service_time(1000, 1), Nanos::new(1000));
     }
 
     #[test]

@@ -117,11 +117,12 @@ fn rate_linearity() {
     });
 }
 
-/// Histogram percentiles track the exact sorted-vector percentile from
-/// below: the log-bucketed value is the lower bucket edge (clamped to
-/// the observed `[min, max]`), so it never exceeds the exact value and
-/// undershoots by at most one sub-bucket width (`exact/32`, plus one
-/// nanosecond of integer-division slack).
+/// Histogram percentiles track the exact sorted-vector percentile to
+/// within one sub-bucket width: the rank's sample and the interpolated
+/// value live in the same log bucket, whose span is at most `exact/32`
+/// (plus one nanosecond of integer slack). Interpolation centers the
+/// estimate instead of pinning it a full sub-bucket low, so the same
+/// tolerance now holds on both sides.
 #[test]
 fn histogram_percentile_tracks_exact() {
     check("histogram_percentile_tracks_exact", |g| {
@@ -142,14 +143,15 @@ fn histogram_percentile_tracks_exact() {
         let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
         let exact = sorted[(rank - 1) as usize];
         let approx = h.percentile(p).as_nanos();
+        let tol = exact / 32 + 1;
         prop_assert!(
-            approx <= exact,
-            "p{p}: approx {approx} above exact {exact} (n={n})"
+            approx.abs_diff(exact) <= tol,
+            "p{p}: approx {approx} not within {tol} of exact {exact} (n={n})"
         );
-        prop_assert!(
-            exact - approx <= exact / 32 + 1,
-            "p{p}: approx {approx} too far below exact {exact} (n={n})"
-        );
+        // Exact-regime samples (< 32 ns) stay exact.
+        if exact < 32 && approx < 32 {
+            prop_assert!(approx.abs_diff(exact) <= 1, "p{p}: {approx} vs {exact}");
+        }
         Ok(())
     });
 }

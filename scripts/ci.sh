@@ -15,22 +15,26 @@ cargo fmt --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # The parallel cluster runtime must actually prove worker-count
-# invariance: run the dedicated test by name and refuse a run where the
-# filter silently matched nothing (a rename would otherwise turn the
-# gate into a no-op).
+# invariance — fault-free AND with the fault plane active: run the two
+# dedicated tests by name and refuse a run where the filter silently
+# matched anything else (a rename would otherwise turn the gate into a
+# no-op).
 det_out=$(cargo test --release --offline -p offpath-smartnic --test determinism \
     cluster_worker_count_invariance 2>&1) || {
     echo "$det_out"
-    echo "ci.sh: cluster determinism test FAILED" >&2
+    echo "ci.sh: cluster determinism tests FAILED" >&2
     exit 1
 }
-if ! grep -q "1 passed" <<<"$det_out"; then
+if ! grep -q "2 passed" <<<"$det_out"; then
     echo "$det_out"
-    echo "ci.sh: cluster_worker_count_invariance did not run (filtered out?)" >&2
+    echo "ci.sh: expected exactly cluster_worker_count_invariance +" \
+        "cluster_worker_count_invariance_with_faults (filtered out or renamed?)" >&2
     exit 1
 fi
 
-# Smoke the cluster runtime end to end through its example.
+# Smoke the cluster runtime end to end through its example, and the
+# fault-injection sweep through the figure runner.
 cargo run --release --offline -p offpath-smartnic --example incast -- --quick
+cargo run --release --offline -p snic-bench --bin run_all -- --only 15 --quick
 
 echo "ci.sh: build + tests + fmt + clippy + cluster determinism all green (offline)"

@@ -241,6 +241,122 @@ fn cluster_worker_count_invariance() {
 }
 
 #[test]
+fn inert_fault_spec_is_byte_identical_to_no_faults() {
+    // The zero-cost guarantee: a scenario carrying an explicitly inert
+    // FaultSpec must produce byte-identical CSV and metrics to the
+    // default scenario that never mentions faults — the inert spec
+    // installs no fault plane, so not a single verdict is rolled.
+    use offpath_smartnic::simnet::faults::FaultSpec;
+
+    let spec = || {
+        vec![
+            StreamSpec::new(PathKind::Snic1, Verb::Read, 256, 5),
+            StreamSpec::new(PathKind::Snic3H2S, Verb::Write, 1024, 1),
+        ]
+    };
+    let base = quick(33).with_metrics();
+    let a = run_scenario(&base.clone(), &spec());
+    let b = run_scenario(&base.with_faults(FaultSpec::none()), &spec());
+    assert_eq!(
+        result_csv(&a).as_bytes(),
+        result_csv(&b).as_bytes(),
+        "inert faults changed the serialized artifact"
+    );
+    let ca: Vec<(&str, u64)> = a.metrics.counters().collect();
+    let cb: Vec<(&str, u64)> = b.metrics.counters().collect();
+    assert_eq!(ca, cb, "inert faults changed the metrics registry");
+    assert_eq!(a.streams[0].retransmits, 0);
+    assert_eq!(a.streams[0].retry_exhausted, 0);
+}
+
+#[test]
+fn cluster_inert_fault_spec_is_byte_identical() {
+    use offpath_smartnic::cluster::{run_cluster, ClusterScenario, ClusterStream};
+    use offpath_smartnic::simnet::faults::FaultSpec;
+
+    let run = |sc: ClusterScenario| {
+        let mut sc = sc.with_workers(1).with_seed(5);
+        sc.cluster.clients.truncate(3);
+        let streams = vec![ClusterStream::new(
+            PathKind::Snic1,
+            Verb::Write,
+            512,
+            vec![0, 1, 2],
+        )];
+        run_cluster(&sc, &streams)
+    };
+    let a = run(ClusterScenario::quick());
+    let b = run(ClusterScenario::quick().with_faults(FaultSpec::none()));
+    assert_eq!(a.to_csv().as_bytes(), b.to_csv().as_bytes());
+    let ca: Vec<(&str, u64)> = a.metrics.counters().collect();
+    let cb: Vec<(&str, u64)> = b.metrics.counters().collect();
+    assert_eq!(ca, cb, "inert faults changed the cluster registry");
+}
+
+#[test]
+fn cluster_worker_count_invariance_with_faults() {
+    // Determinism must survive an *active* fault plane: wire loss drops
+    // frames at the switch, requester timeouts retransmit, and a PCIe
+    // degradation window derates the responder — and the results must
+    // still be byte-identical for every worker count, because every
+    // verdict is a pure function of (seed, src, seq), never of thread
+    // scheduling.
+    use offpath_smartnic::cluster::{run_cluster, ClusterScenario, ClusterStream};
+    use offpath_smartnic::simnet::faults::{DegradedWindow, FaultSpec};
+
+    let run = |workers: usize| {
+        let faults = FaultSpec::none()
+            .with_seed(99)
+            .with_wire_loss(0.005)
+            .with_pcie_corrupt(0.01)
+            .with_pcie_window(DegradedWindow {
+                from: Nanos::from_micros(200),
+                to: Nanos::from_micros(400),
+                slowdown: 4.0,
+                extra_latency: Nanos::new(200),
+            });
+        let mut sc = ClusterScenario::quick()
+            .with_workers(workers)
+            .with_seed(17)
+            .with_faults(faults);
+        sc.cluster.clients.truncate(6);
+        let streams = vec![
+            ClusterStream::new(PathKind::Snic1, Verb::Write, 4096, vec![0, 1, 2]),
+            ClusterStream::new(PathKind::Snic2, Verb::Read, 256, vec![3, 4, 5]),
+            ClusterStream::new(PathKind::Snic3H2S, Verb::Write, 1024, vec![]),
+        ];
+        run_cluster(&sc, &streams)
+    };
+    let a = run(1);
+    let b = run(2);
+    let c = run(8);
+    let count = |r: &offpath_smartnic::cluster::ClusterResult, name: &str| {
+        r.metrics
+            .counters()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert!(
+        count(&a, "rc_retransmits") > 0,
+        "fault plane never fired; the test proves nothing"
+    );
+    assert!(count(&a, "msgs_dropped") > 0, "no frames were dropped");
+    for (other, n) in [(&b, 2), (&c, 8)] {
+        assert_eq!(
+            a.to_csv().as_bytes(),
+            other.to_csv().as_bytes(),
+            "CSV diverged between 1 and {n} workers under faults"
+        );
+        assert_eq!(a.epochs, other.epochs, "epoch schedule diverged");
+        assert_eq!(a.messages, other.messages, "message count diverged");
+        let ca: Vec<(&str, u64)> = a.metrics.counters().collect();
+        let co: Vec<(&str, u64)> = other.metrics.counters().collect();
+        assert_eq!(ca, co, "metrics registry diverged at {n} workers");
+    }
+}
+
+#[test]
 fn kvstore_deterministic() {
     use offpath_smartnic::kvstore::{run_gets, Design, KeyDist, KvConfig};
     let cfg = KvConfig {

@@ -180,6 +180,139 @@ fn credit_starvation_recovers() {
 }
 
 #[test]
+fn sustained_loss_exhausts_retry_budget_with_no_cqe_leak() {
+    // Certain wire loss: every attempt dies, the RC QP burns its full
+    // retry budget, faults to Error, and leaks no completion.
+    use offpath_smartnic::simnet::faults::FaultSpec;
+
+    let ctx = ctx();
+    ctx.fabric()
+        .borrow_mut()
+        .set_faults(FaultSpec::none().with_wire_loss(1.0));
+    let pd = ctx.alloc_pd();
+    let mr = pd.register_mr(Endpoint::Host, 0, 1 << 20);
+    let cq = pd.create_cq();
+    let mut qp = pd.create_qp(QpType::Rc, PathKind::Snic1, 0, &cq);
+    let retry_cnt = qp.rc_params().retry_cnt;
+
+    let e = qp.post_read(Nanos::ZERO, &mr, 0, 64);
+    assert!(
+        matches!(e, Err(RdmaError::RetryExceeded { attempts }) if attempts == retry_cnt + 1),
+        "want RetryExceeded after {} attempts, got {e:?}",
+        retry_cnt + 1
+    );
+    assert_eq!(qp.state(), QpState::Error, "exhaustion must fault the QP");
+    assert_eq!(cq.pending(), 0, "no CQE may exist for a failed op");
+    let c = qp.rc_counters();
+    assert_eq!(c.attempts, u64::from(retry_cnt) + 1);
+    assert_eq!(c.retransmits, u64::from(retry_cnt));
+    assert_eq!(c.retry_exhausted, 1);
+    // The faulted QP rejects further work until reset.
+    assert!(matches!(
+        qp.post_read(Nanos::from_micros(500), &mr, 0, 64),
+        Err(RdmaError::WrongState(QpState::Error))
+    ));
+}
+
+#[test]
+fn rnr_backoff_ladder_matches_configured_delays() {
+    // An RC SEND against an empty receive queue walks the exponential
+    // RNR backoff ladder until the responder's replenish tick grants a
+    // credit. With base 640 ns and a 2 µs replenish interval the ladder
+    // is 640 + 1280 + 2560 = 4480 ns: the third wait crosses the first
+    // tick at t=2000 (credits are granted lazily at consume time).
+    let ctx = ctx();
+    let pd = ctx.alloc_pd();
+    let mr = pd.register_mr(Endpoint::Host, 0, 1 << 20);
+    let cq = pd.create_cq();
+    let mut qp = pd.create_qp_reset(QpType::Rc, PathKind::Snic1, 0, &cq, 8);
+    qp.modify(QpState::Init).unwrap();
+    qp.modify(QpState::Rtr).unwrap();
+    qp.modify(QpState::Rts).unwrap();
+    qp.peer_rq_mut()
+        .set_replenish_interval(Nanos::from_micros(2));
+
+    qp.post_send(Nanos::ZERO, &mr, 0, 64).unwrap();
+    let c = qp.rc_counters();
+    assert_eq!(c.rnr_naks, 3, "ladder walked {} rungs", c.rnr_naks);
+    assert_eq!(
+        c.rnr_backoff,
+        Nanos::new(640 + 1280 + 2560),
+        "backoff sum diverged from the configured ladder"
+    );
+    assert_eq!(cq.pending(), 1, "the delayed SEND must still complete");
+}
+
+#[test]
+fn rnr_retry_exhaustion_faults_rc_qp() {
+    // No receives ever posted and no replenish: the ladder runs out of
+    // rungs (rnr_retry) and the QP faults to Error, as a real HCA does.
+    let ctx = ctx();
+    let pd = ctx.alloc_pd();
+    let mr = pd.register_mr(Endpoint::Host, 0, 1 << 20);
+    let cq = pd.create_cq();
+    let mut qp = pd.create_qp_reset(QpType::Rc, PathKind::Snic1, 0, &cq, 8);
+    qp.modify(QpState::Init).unwrap();
+    qp.modify(QpState::Rtr).unwrap();
+    qp.modify(QpState::Rts).unwrap();
+
+    let rnr_retry = qp.rc_params().rnr_retry;
+    assert!(matches!(
+        qp.post_send(Nanos::ZERO, &mr, 0, 64),
+        Err(RdmaError::ReceiverNotReady)
+    ));
+    assert_eq!(qp.state(), QpState::Error);
+    assert_eq!(qp.rc_counters().rnr_naks, u64::from(rnr_retry) + 1);
+    assert_eq!(cq.pending(), 0);
+    // Recoverable through reset, like any Error'd QP.
+    qp.modify(QpState::Reset).unwrap();
+}
+
+#[test]
+fn soak_lossy_rc_qp_stays_sound() {
+    // 500 posts under 50% per-crossing wire loss: a mix of eventual
+    // successes and retry exhaustions. The QP must stay consistent —
+    // every success has exactly one CQE, every exhaustion none, and the
+    // QP recovers from Error through the reset ladder each time.
+    use offpath_smartnic::simnet::faults::FaultSpec;
+
+    let ctx = ctx();
+    ctx.fabric()
+        .borrow_mut()
+        .set_faults(FaultSpec::none().with_seed(7).with_wire_loss(0.5));
+    let pd = ctx.alloc_pd();
+    let mr = pd.register_mr(Endpoint::Host, 0, 1 << 20);
+    let cq = pd.create_cq();
+    let mut qp = pd.create_qp(QpType::Rc, PathKind::Snic1, 0, &cq);
+    let mut ok = 0u64;
+    let mut exhausted = 0u64;
+    for i in 0..500u64 {
+        match qp.post_read(Nanos::new(i * 2000), &mr, 0, 64) {
+            Ok(_) => ok += 1,
+            Err(RdmaError::RetryExceeded { .. }) => {
+                exhausted += 1;
+                qp.modify(QpState::Reset).unwrap();
+                qp.modify(QpState::Init).unwrap();
+                qp.modify(QpState::Rtr).unwrap();
+                qp.modify(QpState::Rts).unwrap();
+            }
+            Err(e) => panic!("unexpected error under loss: {e:?}"),
+        }
+    }
+    assert!(ok > 0, "nothing ever succeeded");
+    assert!(exhausted > 0, "nothing ever exhausted at 50% loss");
+    let c = qp.rc_counters();
+    assert!(c.retransmits > 0);
+    assert_eq!(c.retry_exhausted, exhausted);
+    assert!(c.attempts > 500, "retries must inflate attempts");
+    let wcs = cq.poll(Nanos::from_secs(10));
+    assert_eq!(wcs.len() as u64, ok, "CQE count must match successes");
+    for pair in wcs.windows(2) {
+        assert!(pair[0].completed <= pair[1].completed);
+    }
+}
+
+#[test]
 fn soak_randomized_posts_stay_sound() {
     // 2000 randomized posts mixing valid and invalid parameters: the
     // stack must neither panic nor corrupt the CQ ordering.

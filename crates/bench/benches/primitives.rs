@@ -5,26 +5,55 @@
 //! `BENCH_SAMPLES` / `BENCH_WARMUP`.
 
 use memsys::{MemOp, MemSystem};
-use simnet::engine::{Engine, Step};
+use simnet::engine::{BaselineEngine, Engine, Step};
 use simnet::rng::SimRng;
 use simnet::stats::Histogram;
 use simnet::time::Nanos;
 use snic_bench::timing::Bench;
 use snic_kvstore::index::HashIndex;
 
-fn bench_engine(b: &Bench) {
-    b.run("engine/schedule_pop_10k", || {
-        let mut eng: Engine<u32> = Engine::new();
-        for i in 0..10_000u32 {
-            eng.schedule(Nanos::new((i as u64 * 37) % 5000), i).unwrap();
-        }
-        let mut n = 0;
-        eng.run(|_, _, _| {
-            n += 1;
-            Step::Continue
+/// The same series on both engines, so the wheel/heap delta is visible
+/// in one run. `dense` is a burst drain; `shardlike` mimics a cluster
+/// shard: a pool of far-out timeouts parked while the hot path pops one
+/// near-term event at a time, each pop rescheduling a successor.
+macro_rules! engine_series {
+    ($b:expr, $tag:literal, $eng:ty) => {
+        $b.run(concat!("engine/", $tag, "/dense_10k"), || {
+            let mut eng: $eng = <$eng>::new();
+            for i in 0..10_000u32 {
+                eng.schedule(Nanos::new((i as u64 * 37) % 5000), i).unwrap();
+            }
+            let mut n = 0;
+            eng.run(|_, _, _| {
+                n += 1;
+                Step::Continue
+            });
+            n
         });
-        n
-    });
+        $b.run(concat!("engine/", $tag, "/shardlike_10k"), || {
+            let mut eng: $eng = <$eng>::new();
+            for i in 0..200u32 {
+                eng.schedule(Nanos::new(100_000 + i as u64), i).unwrap();
+            }
+            eng.schedule(Nanos::new(1), 999).unwrap();
+            let mut n = 0u64;
+            while n < 10_000 {
+                let (now, _) = eng.pop().unwrap();
+                let _ = eng.peek_time();
+                eng.schedule(now + Nanos::new(450), 999).unwrap();
+                if n % 16 == 0 {
+                    eng.schedule(now + Nanos::new(100_000), 7).unwrap();
+                }
+                n += 1;
+            }
+            n
+        });
+    };
+}
+
+fn bench_engine(b: &Bench) {
+    engine_series!(b, "wheel", Engine<u32>);
+    engine_series!(b, "heap", BaselineEngine<u32>);
 }
 
 fn bench_dram(b: &Bench) {

@@ -1,19 +1,25 @@
 //! Minimal in-tree wall-clock benchmark harness.
 //!
-//! Replaces the external benchmark framework with ~100 dependency-free
-//! lines: each benchmark runs a warmup phase, then N timed iterations,
+//! Replaces the external benchmark framework with a few dependency-free
+//! pages: each benchmark runs a warmup phase, then N timed iterations,
 //! and reports min/mean/p50/p99 per iteration. Optimization barriers use
 //! [`std::hint::black_box`] (re-exported as [`black_box`]).
 //!
-//! Environment knobs:
+//! Environment knobs (validated uniformly at harness construction — a
+//! bad value fails immediately with the offending name and value, never
+//! mid-run):
 //!
 //! * `BENCH_SAMPLES=<n>` — timed iterations per benchmark (default set
-//!   per bench binary);
-//! * `BENCH_WARMUP=<n>`  — warmup iterations (default 3).
+//!   per bench binary); must be an unsigned integer >= 1;
+//! * `BENCH_WARMUP=<n>`  — warmup iterations (default 3); must be an
+//!   unsigned integer (0 disables warmup and is valid).
 //!
 //! Unlike the simulators, which are bit-for-bit deterministic, wall
 //! times are inherently noisy; the harness reports distribution summary
-//! statistics and leaves regression judgement to the reader.
+//! statistics and leaves regression judgement to the reader. The
+//! [`Bench::measure`] entry point additionally captures a per-iteration
+//! *simulated event count* so macro benchmarks can report events/sec —
+//! the quantity the `BENCH_*.json` perf trajectory tracks.
 
 use std::time::Instant;
 
@@ -27,25 +33,114 @@ pub struct Bench {
     warmup: usize,
 }
 
-fn env_usize(name: &str, default: usize) -> usize {
+/// Parses one environment knob value. Pure so the validation rules are
+/// unit-testable without touching the process environment: the value
+/// must be an unsigned integer and at least `min` (`min = 1` for sample
+/// counts, `min = 0` for warmup counts).
+fn parse_knob(name: &str, raw: &str, min: usize) -> Result<usize, String> {
+    let v: usize = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("{name}={raw:?} is not an unsigned integer"))?;
+    if v < min {
+        return Err(format!(
+            "{name}={v} is out of range: must be at least {min}"
+        ));
+    }
+    Ok(v)
+}
+
+/// Reads an environment knob, failing fast with a uniform, clear error
+/// for *both* malformed and out-of-range values (historically
+/// `BENCH_SAMPLES=0` was silently clamped to 1 while `BENCH_SAMPLES=x`
+/// panicked mid-run with a misleading message).
+fn env_knob(name: &str, default: usize, min: usize) -> usize {
     match std::env::var(name) {
-        Ok(v) => v
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("{name}={v:?} is not a positive integer")),
+        Ok(v) => match parse_knob(name, &v, min) {
+            Ok(v) => v,
+            Err(msg) => panic!("{msg}"),
+        },
         Err(_) => default,
+    }
+}
+
+/// One benchmark's timed samples plus its deterministic event count.
+///
+/// `samples` holds per-iteration wall times in nanoseconds, sorted
+/// ascending. `events` is the number of simulated events one iteration
+/// delivers — identical across iterations because the simulations are
+/// bit-for-bit deterministic.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (stable key in `BENCH_*.json`).
+    pub name: String,
+    /// Sorted per-iteration wall times [ns].
+    pub samples: Vec<u64>,
+    /// Simulated events delivered per iteration.
+    pub events: u64,
+}
+
+impl Measurement {
+    /// Fastest iteration [ns].
+    pub fn min_ns(&self) -> u64 {
+        self.samples.first().copied().unwrap_or(0)
+    }
+
+    /// Mean iteration time [ns].
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Percentile (nearest-rank over the sorted samples).
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let idx = (q / 100.0 * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[idx.min(self.samples.len() - 1)]
+    }
+
+    /// Simulated events per wall-clock second, over the mean iteration.
+    pub fn events_per_sec(&self) -> f64 {
+        let mean = self.mean_ns();
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / (mean / 1e9)
+    }
+
+    /// The one-line human summary the bench binaries print.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<28} min {:>10}  mean {:>10}  p50 {:>10}  p99 {:>10}  {:>8.2} Mev/s  ({} samples)",
+            self.name,
+            fmt_ns(self.min_ns()),
+            fmt_ns(self.mean_ns() as u64),
+            fmt_ns(self.percentile_ns(50.0)),
+            fmt_ns(self.percentile_ns(99.0)),
+            self.events_per_sec() / 1e6,
+            self.samples.len()
+        )
     }
 }
 
 impl Bench {
     /// A runner taking `default_samples` timed iterations per benchmark
-    /// (overridable with `BENCH_SAMPLES`) after `BENCH_WARMUP` (default
-    /// 3) warmup iterations.
+    /// (overridable with `BENCH_SAMPLES`, which must be >= 1) after
+    /// `BENCH_WARMUP` (default 3, 0 allowed) warmup iterations.
     pub fn from_env(default_samples: usize) -> Bench {
         Bench {
-            samples: env_usize("BENCH_SAMPLES", default_samples).max(1),
-            warmup: env_usize("BENCH_WARMUP", 3),
+            samples: env_knob("BENCH_SAMPLES", default_samples.max(1), 1),
+            warmup: env_knob("BENCH_WARMUP", 3, 0),
         }
+    }
+
+    /// Configured timed-iteration count.
+    pub fn samples(&self) -> usize {
+        self.samples
     }
 
     /// Times `f`, printing a one-line summary keyed by `name`.
@@ -86,6 +181,28 @@ impl Bench {
             fmt_ns(pct(99.0)),
             ns.len()
         );
+    }
+
+    /// Times `f` — which must return the number of simulated events one
+    /// iteration delivered — and returns the full [`Measurement`] so the
+    /// caller can serialize it (`BENCH_*.json`) as well as print it.
+    pub fn measure(&self, name: &str, mut f: impl FnMut() -> u64) -> Measurement {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut ns: Vec<u64> = Vec::with_capacity(self.samples);
+        let mut events = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            events = black_box(f());
+            ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        ns.sort_unstable();
+        Measurement {
+            name: name.to_string(),
+            samples: ns,
+            events,
+        }
     }
 }
 
@@ -136,6 +253,59 @@ mod tests {
             |()| 0u8,
         );
         assert_eq!(setups, 6);
+    }
+
+    #[test]
+    fn measure_reports_events() {
+        let b = Bench {
+            samples: 4,
+            warmup: 1,
+        };
+        let m = b.measure("test/measure", || 1000);
+        assert_eq!(m.samples.len(), 4);
+        assert_eq!(m.events, 1000);
+        assert!(m.events_per_sec() > 0.0);
+        assert!(m.min_ns() <= m.percentile_ns(50.0));
+        assert!(m.percentile_ns(50.0) <= m.percentile_ns(99.0));
+        assert!(m.summary_line().contains("test/measure"));
+    }
+
+    #[test]
+    fn empty_measurement_is_safe() {
+        let m = Measurement {
+            name: "empty".into(),
+            samples: Vec::new(),
+            events: 0,
+        };
+        assert_eq!(m.min_ns(), 0);
+        assert_eq!(m.mean_ns(), 0.0);
+        assert_eq!(m.percentile_ns(99.0), 0);
+        assert_eq!(m.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn knob_validation_is_uniform() {
+        // Samples: must be >= 1 — zero is rejected with a clear message,
+        // never silently clamped.
+        assert_eq!(parse_knob("BENCH_SAMPLES", "5", 1), Ok(5));
+        assert_eq!(parse_knob("BENCH_SAMPLES", " 7 ", 1), Ok(7));
+        let e = parse_knob("BENCH_SAMPLES", "0", 1).unwrap_err();
+        assert!(
+            e.contains("BENCH_SAMPLES=0") && e.contains("at least 1"),
+            "{e}"
+        );
+        let e = parse_knob("BENCH_SAMPLES", "five", 1).unwrap_err();
+        assert!(
+            e.contains("BENCH_SAMPLES=\"five\"") && e.contains("not an unsigned integer"),
+            "{e}"
+        );
+        // Warmup: 0 is a valid request (skip warmup), negatives and junk
+        // fail with the same message shape as the samples knob.
+        assert_eq!(parse_knob("BENCH_WARMUP", "0", 0), Ok(0));
+        let e = parse_knob("BENCH_WARMUP", "-3", 0).unwrap_err();
+        assert!(e.contains("BENCH_WARMUP=\"-3\""), "{e}");
+        let e = parse_knob("BENCH_WARMUP", "1.5", 0).unwrap_err();
+        assert!(e.contains("not an unsigned integer"), "{e}");
     }
 
     #[test]

@@ -16,6 +16,25 @@
 //! pending instant (minimum over shard engines and undelivered
 //! messages), so wall-clock cost scales with events, not with horizon /
 //! lookahead.
+//!
+//! The hot path avoids per-epoch full scans with a lock-free cache of
+//! each shard's next event time (`AtomicU64`, `u64::MAX` = idle),
+//! refreshed by whoever last touched the shard under its lock. The
+//! cache drives three decisions, all functions of shard state alone —
+//! never of the worker count — so determinism is preserved:
+//!
+//! * `next_time` reads the cache instead of locking every shard;
+//! * only *active* shards (next event inside the epoch) are run and
+//!   have their outboxes drained — an idle shard's `run_until` would be
+//!   a stateless no-op, so skipping it is invisible;
+//! * epochs with at most one active shard run inline on the driver
+//!   thread without the two-barrier worker round-trip (the common case
+//!   when traffic is in flight and only the switch has work).
+//!
+//! The merge batches deliveries per destination — messages are
+//! arbitrated in global key order, then grouped so each destination
+//! shard is locked once per epoch — and recycles the outbox and routing
+//! buffers across epochs.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,54 +54,82 @@ pub(crate) struct RunStats {
 
 type Pending = BTreeMap<(u64, usize, u64), NetMsg>;
 
-/// The earliest instant anything can still happen: the minimum over
-/// every shard's next event and every undelivered message's departure.
-/// Departures must participate, otherwise the driver could skip past the
-/// epoch in which a message was due to arrive.
-fn next_time(cells: &[Mutex<Shard>], pending: &Pending) -> Option<Nanos> {
-    let mut t = pending.keys().next().map(|k| Nanos::new(k.0));
-    for cell in cells {
-        if let Some(p) = cell.lock().unwrap().peek_time() {
-            t = Some(match t {
-                Some(x) => x.min(p),
-                None => p,
-            });
-        }
-    }
-    t
+/// Cache value for a shard with no pending events. A real event at
+/// `u64::MAX` ns would alias, but horizons are bounded far below that.
+const IDLE: u64 = u64::MAX;
+
+/// Re-publishes a shard's next event time. Callers hold the shard lock;
+/// the `Relaxed` store is ordered against readers by the lock release
+/// (and the epoch barrier on the parallel path).
+fn refresh_cache(slot: &AtomicU64, shard: &Shard) {
+    let t = shard.peek_time().map_or(IDLE, |t| t.as_nanos());
+    slot.store(t, Ordering::Relaxed);
 }
 
-/// Barrier step: collect outboxes in shard-index order, then arbitrate
-/// every message departing strictly before `epoch_end` in global
-/// `(depart, src, seq)` order. Messages departing later stay pending —
-/// their switch-port reservations must wait until all earlier traffic is
-/// known.
+/// The earliest instant anything can still happen: the minimum over
+/// every shard's cached next event and every undelivered message's
+/// departure. Departures must participate, otherwise the driver could
+/// skip past the epoch in which a message was due to arrive.
+fn next_time(cache: &[AtomicU64], pending: &Pending) -> Option<Nanos> {
+    let mut t = pending.keys().next().map_or(IDLE, |k| k.0);
+    for slot in cache {
+        t = t.min(slot.load(Ordering::Relaxed));
+    }
+    (t != IDLE).then(|| Nanos::new(t))
+}
+
+/// Barrier step: collect the outboxes of the shards that ran this epoch
+/// (in shard-index order), then arbitrate every message departing
+/// strictly before `epoch_end` in global `(depart, src, seq)` order.
+/// Messages departing later stay pending — their switch-port
+/// reservations must wait until all earlier traffic is known.
+///
+/// Routing order is the global key order (port arbitration is
+/// stateful), but deliveries are then grouped by destination so each
+/// target shard is locked exactly once; the grouping is stable, so each
+/// shard still observes its arrivals in the global order restricted to
+/// it — the exact sequence the unbatched loop produced.
+#[allow(clippy::too_many_arguments)]
 fn merge(
     cells: &[Mutex<Shard>],
+    cache: &[AtomicU64],
+    active: &[usize],
     switch: &mut SwitchFabric,
     pending: &mut Pending,
+    outbox: &mut Vec<NetMsg>,
+    routed: &mut Vec<(usize, Nanos, Nanos, NetMsg)>,
     epoch_end: Nanos,
 ) {
-    for cell in cells {
-        let mut shard = cell.lock().unwrap();
-        for m in shard.take_outbox() {
-            pending.insert(m.key(), m);
-        }
+    for &i in active {
+        cells[i].lock().unwrap().drain_outbox(outbox);
+    }
+    for m in outbox.drain(..) {
+        pending.insert(m.key(), m);
     }
     let cut = (epoch_end.as_nanos(), 0usize, 0u64);
-    let ready: Vec<(u64, usize, u64)> = pending.range(..cut).map(|(k, _)| *k).collect();
-    for key in ready {
-        let m = pending.remove(&key).expect("key taken from the map");
+    let rest = pending.split_off(&cut);
+    let ready = std::mem::replace(pending, rest);
+    for (_, m) in ready {
         // `None` means the fault plane lost the frame on the wire: the
         // uplink reservation is burned but nothing arrives — recovery is
         // the requester's timeout, never the switch's.
         if let Some(d) = switch.route(&m) {
-            cells[m.dst]
-                .lock()
-                .unwrap()
-                .deliver(d.arrive, &m, d.drained);
+            routed.push((m.dst, d.arrive, d.drained, m));
         }
     }
+    routed.sort_by_key(|r| r.0); // stable: per-destination order survives
+    let mut i = 0;
+    while i < routed.len() {
+        let dst = routed[i].0;
+        let mut shard = cells[dst].lock().unwrap();
+        while i < routed.len() && routed[i].0 == dst {
+            let (_, arrive, drained, m) = &routed[i];
+            shard.deliver(*arrive, m, *drained);
+            i += 1;
+        }
+        refresh_cache(&cache[dst], &shard);
+    }
+    routed.clear();
 }
 
 /// Runs the cluster until no shard has an event at or before `horizon`.
@@ -100,18 +147,55 @@ pub(crate) fn drive(
     let mut epochs = 0u64;
     let workers = workers.clamp(1, cells.len().max(1));
 
+    let cache: Vec<AtomicU64> = cells
+        .iter()
+        .map(|cell| {
+            let shard = cell.lock().unwrap();
+            AtomicU64::new(shard.peek_time().map_or(IDLE, |t| t.as_nanos()))
+        })
+        .collect();
+    let mut active: Vec<usize> = Vec::with_capacity(cells.len());
+    let mut outbox: Vec<NetMsg> = Vec::new();
+    let mut routed: Vec<(usize, Nanos, Nanos, NetMsg)> = Vec::new();
+
+    // The active set for the epoch ending at `end`: shards whose next
+    // event lies inside it. Depends only on shard state, never on the
+    // worker assignment.
+    let collect_active = |active: &mut Vec<usize>, deadline: u64| {
+        active.clear();
+        for (i, slot) in cache.iter().enumerate() {
+            if slot.load(Ordering::Relaxed) <= deadline {
+                active.push(i);
+            }
+        }
+    };
+    let run_one = |i: usize, deadline: Nanos| {
+        let mut shard = cells[i].lock().unwrap();
+        shard.run_until(deadline);
+        refresh_cache(&cache[i], &shard);
+    };
+
     if workers <= 1 {
-        while let Some(t) = next_time(cells, &pending) {
+        while let Some(t) = next_time(&cache, &pending) {
             if t > horizon {
                 break;
             }
             let end = epoch_end_of(t);
-            for cell in cells {
-                cell.lock()
-                    .unwrap()
-                    .run_until(Nanos::new(end.as_nanos() - 1));
+            let deadline = Nanos::new(end.as_nanos() - 1);
+            collect_active(&mut active, deadline.as_nanos());
+            for &i in &active {
+                run_one(i, deadline);
             }
-            merge(cells, switch, &mut pending, end);
+            merge(
+                cells,
+                &cache,
+                &active,
+                switch,
+                &mut pending,
+                &mut outbox,
+                &mut routed,
+                end,
+            );
             epochs += 1;
         }
         return RunStats { epochs };
@@ -119,12 +203,15 @@ pub(crate) fn drive(
 
     // Persistent workers; two barrier waits per epoch (start + done).
     // `end_ns` broadcasts the epoch boundary; `u64::MAX` means shut down.
+    // Epochs with at most one active shard never reach the barrier: the
+    // driver runs them inline while the workers stay parked.
     let barrier = Barrier::new(workers + 1);
     let end_ns = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for w in 0..workers {
             let barrier = &barrier;
             let end_ns = &end_ns;
+            let cache = &cache;
             scope.spawn(move || loop {
                 barrier.wait();
                 let end = end_ns.load(Ordering::SeqCst);
@@ -133,24 +220,47 @@ pub(crate) fn drive(
                 }
                 // Worker `w` owns shards w, w + workers, w + 2*workers…
                 // The assignment only affects which thread runs a shard,
-                // never what the shard computes.
+                // never what the shard computes. Idle shards (cached
+                // next event past the epoch) are skipped without
+                // locking: running them would deliver nothing.
                 let mut i = w;
                 while i < cells.len() {
-                    cells[i].lock().unwrap().run_until(Nanos::new(end - 1));
+                    if cache[i].load(Ordering::Relaxed) < end {
+                        let mut shard = cells[i].lock().unwrap();
+                        shard.run_until(Nanos::new(end - 1));
+                        refresh_cache(&cache[i], &shard);
+                    }
                     i += workers;
                 }
                 barrier.wait();
             });
         }
-        while let Some(t) = next_time(cells, &pending) {
+        while let Some(t) = next_time(&cache, &pending) {
             if t > horizon {
                 break;
             }
             let end = epoch_end_of(t);
-            end_ns.store(end.as_nanos(), Ordering::SeqCst);
-            barrier.wait(); // release workers into the epoch
-            barrier.wait(); // wait for all shards to reach the boundary
-            merge(cells, switch, &mut pending, end);
+            let deadline = Nanos::new(end.as_nanos() - 1);
+            collect_active(&mut active, deadline.as_nanos());
+            if active.len() <= 1 {
+                for &i in &active {
+                    run_one(i, deadline);
+                }
+            } else {
+                end_ns.store(end.as_nanos(), Ordering::SeqCst);
+                barrier.wait(); // release workers into the epoch
+                barrier.wait(); // wait for all shards to reach the boundary
+            }
+            merge(
+                cells,
+                &cache,
+                &active,
+                switch,
+                &mut pending,
+                &mut outbox,
+                &mut routed,
+                end,
+            );
             epochs += 1;
         }
         end_ns.store(u64::MAX, Ordering::SeqCst);

@@ -216,6 +216,9 @@ pub struct ClusterResult {
     pub messages: u64,
     /// Worker threads actually used.
     pub workers: usize,
+    /// Simulator events delivered across all shards — the denominator
+    /// for events/sec macro benchmarks.
+    pub events: u64,
 }
 
 impl ClusterResult {
@@ -468,6 +471,7 @@ pub fn run_cluster(scenario: &ClusterScenario, streams: &[ClusterStream]) -> Clu
         epochs: stats.epochs,
         messages: switch.routed(),
         workers,
+        events: shards.iter().map(|s| s.events_delivered()).sum(),
     }
 }
 

@@ -299,9 +299,12 @@ impl Shard {
         self.engine.delivered()
     }
 
-    /// Drains the messages emitted since the last barrier.
-    pub(crate) fn take_outbox(&mut self) -> Vec<NetMsg> {
-        std::mem::take(&mut self.outbox)
+    /// Drains the messages emitted since the last barrier into `into`,
+    /// preserving emission order. Both allocations are kept, so the
+    /// runtime's merge buffer and this outbox stop churning the
+    /// allocator once the cluster reaches steady state.
+    pub(crate) fn drain_outbox(&mut self, into: &mut Vec<NetMsg>) {
+        into.append(&mut self.outbox);
     }
 
     /// Schedules a switch-delivered message into the shard's engine.

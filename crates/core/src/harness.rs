@@ -328,6 +328,9 @@ pub struct ScenarioResult {
     pub metrics: Registry,
     /// Scenario trace ring (disabled unless [`Scenario::trace_cap`] > 0).
     pub trace: TraceRing,
+    /// Simulator events delivered over the whole run (warmup included) —
+    /// the denominator for events/sec macro benchmarks.
+    pub events: u64,
 }
 
 impl ScenarioResult {
@@ -749,6 +752,7 @@ pub fn run_scenario_detailed(
         breakdown,
         metrics: registry,
         trace,
+        events: eng.delivered(),
     };
     (result, fabric)
 }

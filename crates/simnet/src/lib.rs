@@ -32,7 +32,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, Step};
+pub use engine::{BaselineEngine, Engine, ScheduleError, Step};
 pub use faults::{fault_key, DegradedWindow, FaultPlane, FaultSpec, StallWindow};
 pub use metrics::{CounterId, HistogramId, Hop, HopBreakdown, Registry, SpanSet};
 pub use resource::{Dir, DuplexPipe, MultiServer, Pipe, Reservation, Server};

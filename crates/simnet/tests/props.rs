@@ -1,7 +1,7 @@
 //! Property-based tests of the simulation-engine invariants (in-tree
 //! `simnet::prop` harness; failures print a reproducing `PROP_SEED`).
 
-use simnet::engine::{Engine, Step};
+use simnet::engine::{BaselineEngine, Engine, Step};
 use simnet::prop::check;
 use simnet::resource::{Dir, DuplexPipe, Pipe};
 use simnet::rng::SimRng;
@@ -152,6 +152,94 @@ fn histogram_percentile_tracks_exact() {
         if exact < 32 && approx < 32 {
             prop_assert!(approx.abs_diff(exact) <= 1, "p{p}: {approx} vs {exact}");
         }
+        Ok(())
+    });
+}
+
+/// The timing-wheel [`Engine`] and the original heap [`BaselineEngine`]
+/// deliver identical `(at, seq, event)` streams over randomized
+/// schedules — including same-instant FIFO ties, schedule-at-now during
+/// a drain, read-only peeks past a deadline (the cluster epoch pattern:
+/// peek far ahead, then schedule *earlier* cross-shard arrivals), and
+/// far-future deliveries that park in the wheel's overflow heap.
+#[test]
+fn wheel_engine_matches_baseline_heap() {
+    check("wheel_engine_matches_baseline_heap", |g| {
+        let mut wheel: Engine<u32> = Engine::new();
+        let mut base: BaselineEngine<u32> = BaselineEngine::new();
+        let mut next_id: u32 = 0;
+        // Delay magnitudes spanning every wheel level plus the overflow
+        // horizon (64^8 ns), with frequent small values for dense ties.
+        let delay = |g: &mut simnet::prop::Gen| -> u64 {
+            let exp = g.u32(0..51);
+            g.u64(0..(1u64 << exp).max(2))
+        };
+        let schedule_both =
+            |wheel: &mut Engine<u32>, base: &mut BaselineEngine<u32>, at: Nanos, id: u32| {
+                let a = wheel.schedule(at, id);
+                let b = base.schedule(at, id);
+                assert_eq!(a, b, "schedule verdicts diverged at {at}");
+            };
+        // Initial burst from t = 0.
+        for _ in 0..g.usize(1..48) {
+            let at = Nanos::new(delay(g));
+            schedule_both(&mut wheel, &mut base, at, next_id);
+            next_id += 1;
+        }
+        // Epochs: drain up to a deadline in lockstep, comparing every
+        // peek and every pop; reschedule mid-drain; then (like the
+        // cluster barrier) inject events earlier than the peeked future.
+        let epochs = g.usize(2..8);
+        for epoch in 0..=epochs {
+            let final_epoch = epoch == epochs;
+            let deadline = if final_epoch {
+                Nanos::MAX
+            } else {
+                wheel.now() + Nanos::new(g.u64(0..200_000))
+            };
+            loop {
+                let (pw, pb) = (wheel.peek_time(), base.peek_time());
+                prop_assert_eq!(pw, pb, "peek diverged");
+                match pw {
+                    None => break,
+                    Some(t) if t > deadline => break,
+                    Some(_) => {}
+                }
+                let (ew, eb) = (wheel.pop(), base.pop());
+                prop_assert_eq!(ew, eb, "pop diverged");
+                let (now, _) = ew.expect("peek said an event was due");
+                if next_id < 4096 && g.f64_unit() < 0.4 {
+                    // Follow-up work, sometimes at exactly `now` (the
+                    // FIFO-across-schedule-at-now case).
+                    let at = if g.f64_unit() < 0.35 {
+                        now
+                    } else {
+                        now.checked_add(Nanos::new(delay(g))).unwrap_or(now)
+                    };
+                    schedule_both(&mut wheel, &mut base, at, next_id);
+                    next_id += 1;
+                }
+            }
+            prop_assert_eq!(wheel.now(), base.now(), "clocks diverged");
+            prop_assert_eq!(wheel.pending(), base.pending());
+            // Cross-epoch injection: delivery times at or after `now`,
+            // typically *before* whatever the deadline peek saw.
+            for _ in 0..g.usize(0..6) {
+                let at = wheel.now() + Nanos::new(delay(g) >> 1);
+                schedule_both(&mut wheel, &mut base, at, next_id);
+                next_id += 1;
+            }
+        }
+        // Drain the cross-epoch tail injected after the final epoch.
+        loop {
+            let (ew, eb) = (wheel.pop(), base.pop());
+            prop_assert_eq!(ew, eb, "tail pop diverged");
+            if ew.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.delivered(), base.delivered());
+        prop_assert_eq!(wheel.pending(), 0);
         Ok(())
     });
 }

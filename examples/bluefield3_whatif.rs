@@ -1,14 +1,70 @@
 //! What changes on Bluefield-3? The §5 Discussion what-ifs: rescaled
-//! budgets and knees (the anomalies persist), plus the CXL suggestion.
+//! budgets and knees (the anomalies persist), plus the CXL suggestion —
+//! and a *measured* Gen5 what-if: the same remote sweep executed against
+//! a BF-2 server (Gen4 ×16 PCIe) and a BF-3-class server whose
+//! `PcieLinkSpec` is Gen5 ×16, written to `results/bluefield3_whatif.csv`.
 //!
 //! Run with `cargo run --release --example bluefield3_whatif`.
 
+use offpath_smartnic::nicsim::{PathKind, Verb};
 use offpath_smartnic::study::experiments::discussion;
+use offpath_smartnic::study::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
+use offpath_smartnic::study::report::Table;
+use offpath_smartnic::topology::{MachineSpec, NicDevice};
 
 fn main() {
     for t in discussion::run(true) {
         println!("{}", t.to_text());
     }
+
+    let bf3 = MachineSpec::srv_with_bluefield3();
+    let NicDevice::SmartNic(snic) = &bf3.nic else {
+        unreachable!("srv_with_bluefield3 embeds a SmartNIC");
+    };
+    let mut table = Table::new(
+        format!(
+            "§5: Gen5 PCIe what-if, measured (PCIe1 raw {:.0} Gbps vs BF-2's 252)",
+            snic.pcie1.raw_bandwidth().as_gbps()
+        ),
+        &[
+            "path",
+            "verb",
+            "payload [B]",
+            "BF-2 [M/s]",
+            "BF-3 [M/s]",
+            "speedup",
+        ],
+    );
+    let measure = |server: ServerKind, path: PathKind, payload: u64| {
+        let s = Scenario {
+            server,
+            seed: 11,
+            ..Scenario::default()
+        };
+        run_scenario(&s, &[StreamSpec::new(path, Verb::Read, payload, 8)])
+            .total_ops()
+            .as_mops()
+    };
+    for path in [PathKind::Snic1, PathKind::Snic2] {
+        for payload in [64u64, 4096] {
+            let bf2 = measure(ServerKind::Bluefield, path, payload);
+            let gen5 = measure(ServerKind::Custom(bf3), path, payload);
+            table.push(vec![
+                path.label().to_string(),
+                Verb::Read.label().to_string(),
+                payload.to_string(),
+                format!("{bf2:.1}"),
+                format!("{gen5:.1}"),
+                format!("{:.2}x", gen5 / bf2),
+            ]);
+        }
+    }
+    println!("{}", table.to_text());
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/bluefield3_whatif.csv";
+    std::fs::write(path, table.to_csv()).expect("write csv");
+    println!("wrote {path}");
+
     println!(
         "Takeaway: Bluefield-3 keeps the off-path architecture, so every\n\
          guideline survives with new constants — budget path 3 to ~104\n\

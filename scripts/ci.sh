@@ -37,4 +37,15 @@ fi
 cargo run --release --offline -p offpath-smartnic --example incast -- --quick
 cargo run --release --offline -p snic-bench --bin run_all -- --only 15 --quick
 
-echo "ci.sh: build + tests + fmt + clippy + cluster determinism all green (offline)"
+# Perf-trajectory smoke: run the macro-bench suite at minimum sample
+# count, then re-parse the emitted snapshot and require every expected
+# bench key with sane throughput fields — a broken emitter (or a bench
+# that stops reporting events) fails tier-1 here, not in the next PR's
+# baseline comparison.
+bench_snap=$(mktemp -t bench_smoke.XXXXXX.json)
+trap 'rm -f "$bench_snap"' EXIT
+BENCH_SAMPLES=3 BENCH_WARMUP=0 cargo run --release --offline -p snic-bench \
+    --bin perf -- --out "$bench_snap"
+cargo run --release --offline -p snic-bench --bin perf -- --check "$bench_snap"
+
+echo "ci.sh: build + tests + fmt + clippy + cluster determinism + bench smoke all green (offline)"

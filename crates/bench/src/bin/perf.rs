@@ -1,8 +1,9 @@
 //! `perf` — macro benchmarks tracking simulator events/sec.
 //!
 //! Runs the perf-trajectory suite (single-machine Fig-4 sweep, the
-//! cluster Fig-5 combination at 1/2/8 workers, the incast fan-in, and a
-//! faulty cluster run), printing events/sec per scenario and emitting a
+//! cluster Fig-5 combination at 1/2/8 workers, the incast fan-in, a
+//! faulty cluster run, and an open-loop arrival-driven run), printing
+//! events/sec per scenario and emitting a
 //! machine-readable `BENCH_<date>.json` snapshot in the current
 //! directory. Committed snapshots in the repo root form the trajectory
 //! that regression-gates hot-path changes.
@@ -22,6 +23,7 @@
 //! snapshot then deliberately fails `--check`).
 
 use nicsim::{PathKind, Verb};
+use simnet::arrivals::{DropPolicy, OpenLoopSpec};
 use simnet::faults::{DegradedWindow, FaultSpec};
 use simnet::time::Nanos;
 use snic_bench::report::{validate_snapshot, Snapshot, EXPECTED_BENCHES};
@@ -113,6 +115,19 @@ fn faults() -> u64 {
     run_cluster(&sc, &streams).events
 }
 
+/// Open-loop cluster run: two arrival-driven streams (one drop-tail,
+/// one drop-deadline) on the shared bench cluster, exercising the
+/// arrival chains, admission queues and NACK machinery.
+fn openloop() -> u64 {
+    let sc = bench_cluster(2);
+    let a = ClusterStream::new(PathKind::Snic1, Verb::Write, 512, vec![0, 1, 2])
+        .open_loop(OpenLoopSpec::poisson(6.0e6));
+    let b = ClusterStream::new(PathKind::Snic2, Verb::Read, 256, vec![3, 4, 5]).open_loop(
+        OpenLoopSpec::poisson(2.0e6).with_policy(DropPolicy::DropDeadline(Nanos::from_micros(20))),
+    );
+    run_cluster(&sc, &[a, b]).events
+}
+
 fn usage() -> ! {
     eprintln!(
         "perf: macro benchmarks tracking simulator events/sec\n\
@@ -163,6 +178,7 @@ fn main() {
         ("fig5_cluster_w8", || fig5_cluster(8)),
         ("incast", incast),
         ("faults", faults),
+        ("openloop", openloop),
     ];
 
     let mut measurements: Vec<Measurement> = Vec::new();
@@ -181,7 +197,10 @@ fn main() {
         std::process::exit(1);
     }
 
-    let snap = Snapshot::new(&measurements);
+    let snap = Snapshot::new(&measurements).unwrap_or_else(|e| {
+        eprintln!("perf: refusing to emit snapshot: {e}");
+        std::process::exit(1);
+    });
     let path = out.unwrap_or_else(|| snap.file_name());
     std::fs::write(&path, snap.to_json()).unwrap_or_else(|e| {
         eprintln!("perf: cannot write {path}: {e}");

@@ -34,6 +34,7 @@ fn main() {
         ("13_fig5_cluster", e::fig5_cluster::run),
         ("14_incast", e::incast::run),
         ("15_faults", e::faults::run),
+        ("16_openloop", e::openloop::run),
     ];
     let jobs: Vec<Job> = match &opts.only {
         Some(prefix) => {

@@ -24,6 +24,7 @@ pub const EXPECTED_BENCHES: &[&str] = &[
     "fig5_cluster_w8",
     "incast",
     "faults",
+    "openloop",
 ];
 
 /// One benchmark's record in the snapshot.
@@ -75,13 +76,41 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Builds a snapshot from measurements, stamping today's date and
-    /// the current git revision.
-    pub fn new(measurements: &[Measurement]) -> Snapshot {
-        Snapshot {
-            date: today_utc(),
-            git_rev: git_rev(),
-            benches: measurements.iter().map(BenchRecord::from).collect(),
+    /// the current git revision. Fails if any record carries a
+    /// non-finite floating-point field.
+    pub fn new(measurements: &[Measurement]) -> Result<Snapshot, String> {
+        Snapshot::from_records(
+            today_utc(),
+            git_rev(),
+            measurements.iter().map(BenchRecord::from).collect(),
+        )
+    }
+
+    /// Builds a snapshot from explicit records, rejecting NaN/Infinity
+    /// fields up front. (Historically `json_f64` silently rewrote
+    /// non-finite values to `0.0` at emit time, so a wedged benchmark
+    /// surfaced as a plausible-looking zero in the perf trajectory
+    /// instead of an error.)
+    pub fn from_records(
+        date: String,
+        git_rev: String,
+        benches: Vec<BenchRecord>,
+    ) -> Result<Snapshot, String> {
+        for b in &benches {
+            for (key, v) in [("mean_ns", b.mean_ns), ("events_per_sec", b.events_per_sec)] {
+                if !v.is_finite() {
+                    return Err(format!(
+                        "bench {:?} field {key:?} = {v} is not finite",
+                        b.name
+                    ));
+                }
+            }
         }
+        Ok(Snapshot {
+            date,
+            git_rev,
+            benches,
+        })
     }
 
     /// The snapshot's canonical file name, `BENCH_<date>.json`.
@@ -121,13 +150,15 @@ impl Snapshot {
     }
 }
 
-/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity).
+/// Formats an `f64` as a JSON number. JSON has no NaN/Infinity;
+/// [`Snapshot::from_records`] rejects them at build time, so reaching
+/// here with one means a snapshot bypassed validation.
 fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "0.0".to_string()
-    }
+    assert!(
+        v.is_finite(),
+        "non-finite value {v} escaped snapshot validation"
+    );
+    format!("{v:.3}")
 }
 
 /// Escapes a string as a JSON string literal.
@@ -477,7 +508,7 @@ mod tests {
             .iter()
             .map(|n| sample_measurement(n))
             .collect();
-        let snap = Snapshot::new(&ms);
+        let snap = Snapshot::new(&ms).expect("finite measurements build");
         assert!(snap.file_name().starts_with("BENCH_"));
         assert!(snap.file_name().ends_with(".json"));
         let json = snap.to_json();
@@ -492,7 +523,7 @@ mod tests {
     #[test]
     fn validate_rejects_missing_bench() {
         let ms = vec![sample_measurement("fig4_sweep")];
-        let json = Snapshot::new(&ms).to_json();
+        let json = Snapshot::new(&ms).expect("finite").to_json();
         let err = validate_snapshot(&json, EXPECTED_BENCHES).unwrap_err();
         assert!(err.contains("missing expected bench"), "{err}");
     }
@@ -501,9 +532,33 @@ mod tests {
     fn validate_rejects_zero_throughput() {
         let mut m = sample_measurement("fig4_sweep");
         m.events = 0;
-        let json = Snapshot::new(&[m]).to_json();
+        let json = Snapshot::new(&[m]).expect("zero is finite").to_json();
         let err = validate_snapshot(&json, &["fig4_sweep"]).unwrap_err();
         assert!(err.contains("no throughput"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_records_rejected_at_build_time() {
+        let nan = |field: &str| {
+            let mut rec = BenchRecord::from(&sample_measurement("fig4_sweep"));
+            match field {
+                "mean_ns" => rec.mean_ns = f64::NAN,
+                _ => rec.events_per_sec = f64::INFINITY,
+            }
+            Snapshot::from_records("2026-08-07".into(), "deadbee".into(), vec![rec])
+        };
+        let err = nan("mean_ns").unwrap_err();
+        assert!(
+            err.contains("mean_ns") && err.contains("not finite"),
+            "{err}"
+        );
+        let err = nan("events_per_sec").unwrap_err();
+        assert!(err.contains("events_per_sec"), "{err}");
+        // Finite records still build and round-trip through the emitter.
+        let rec = BenchRecord::from(&sample_measurement("fig4_sweep"));
+        let snap = Snapshot::from_records("2026-08-07".into(), "deadbee".into(), vec![rec])
+            .expect("finite record builds");
+        validate_snapshot(&snap.to_json(), &["fig4_sweep"]).expect("roundtrip validates");
     }
 
     #[test]

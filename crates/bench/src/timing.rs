@@ -99,8 +99,7 @@ impl Measurement {
         if self.samples.is_empty() {
             return 0;
         }
-        let idx = (q / 100.0 * (self.samples.len() - 1) as f64).round() as usize;
-        self.samples[idx.min(self.samples.len() - 1)]
+        self.samples[nearest_rank_index(q, self.samples.len())]
     }
 
     /// Simulated events per wall-clock second, over the mean iteration.
@@ -171,8 +170,7 @@ impl Bench {
         }
         ns.sort_unstable();
         let mean = ns.iter().sum::<u64>() as f64 / ns.len() as f64;
-        let pct =
-            |q: f64| ns[((q / 100.0 * (ns.len() - 1) as f64).round() as usize).min(ns.len() - 1)];
+        let pct = |q: f64| ns[nearest_rank_index(q, ns.len())];
         println!(
             "{name:<44} min {:>10}  mean {:>10}  p50 {:>10}  p99 {:>10}  ({} samples)",
             fmt_ns(ns[0]),
@@ -204,6 +202,18 @@ impl Bench {
             events,
         }
     }
+}
+
+/// Index of the nearest-rank percentile `q` in a sorted sample of size
+/// `n >= 1`: rank `ceil(q/100 * n)` clamped to `[1, n]`, zero-based.
+///
+/// The previous formula rounded `q/100 * (n-1)`, which is neither
+/// nearest-rank nor interpolation: with two samples it returned the
+/// *maximum* as the median (`0.5 * 1` rounds to 1, and `round()` on the
+/// half-way case rounds away from zero).
+fn nearest_rank_index(q: f64, n: usize) -> usize {
+    let rank = (q / 100.0 * n as f64).ceil().max(1.0) as usize;
+    rank.min(n) - 1
 }
 
 /// Formats a nanosecond duration with an adaptive unit.
@@ -306,6 +316,45 @@ mod tests {
         assert!(e.contains("BENCH_WARMUP=\"-3\""), "{e}");
         let e = parse_knob("BENCH_WARMUP", "1.5", 0).unwrap_err();
         assert!(e.contains("not an unsigned integer"), "{e}");
+    }
+
+    fn meas(samples: &[u64]) -> Measurement {
+        Measurement {
+            name: "pct".into(),
+            samples: samples.to_vec(),
+            events: 1,
+        }
+    }
+
+    #[test]
+    fn percentiles_of_one_sample() {
+        let m = meas(&[42]);
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(m.percentile_ns(q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_two_samples() {
+        let m = meas(&[10, 20]);
+        assert_eq!(m.percentile_ns(0.0), 10);
+        // Nearest-rank median of two samples is the *lower* one — the
+        // old round() formula returned the maximum here.
+        assert_eq!(m.percentile_ns(50.0), 10);
+        assert_eq!(m.percentile_ns(99.0), 20);
+        assert_eq!(m.percentile_ns(100.0), 20);
+    }
+
+    #[test]
+    fn percentiles_of_three_samples() {
+        let m = meas(&[10, 20, 30]);
+        assert_eq!(m.percentile_ns(0.0), 10);
+        assert_eq!(m.percentile_ns(50.0), 20, "true median of 3");
+        assert_eq!(m.percentile_ns(99.0), 30);
+        assert_eq!(m.percentile_ns(100.0), 30);
+        // Rank boundary: q covering exactly one sample stays on it.
+        assert_eq!(m.percentile_ns(100.0 / 3.0), 10);
+        assert_eq!(m.percentile_ns(34.0), 20);
     }
 
     #[test]

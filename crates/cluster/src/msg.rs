@@ -37,6 +37,19 @@ pub enum MsgKind {
         /// requester can match responses to its outstanding table.
         xid: u64,
     },
+    /// The responder's admission queue rejected an open-loop request: a
+    /// header-only NACK so the requester can account the drop and
+    /// release the operation (closed-loop streams never receive one).
+    Drop {
+        /// Global stream index.
+        stream: u16,
+        /// Thread index within the destination shard's stream.
+        thread: u16,
+        /// Original intended-arrival instant, echoed back.
+        posted: Nanos,
+        /// Transaction id echoed from the request.
+        xid: u64,
+    },
     /// The responder's answer (READ data or a header-only ack).
     Response {
         /// Global stream index.

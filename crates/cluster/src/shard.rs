@@ -15,9 +15,10 @@ use nicsim::client::{wire_bytes, wire_frames};
 use nicsim::server::pipeline_out;
 use nicsim::{ClientMachine, Fabric, PathKind, RequestDesc, Verb};
 use rdma_sim::transport::{RecvQueue, SendFlags, SignalTracker};
+use simnet::arrivals::{user_home_addr, Admission, AdmissionQueue, ArrivalGen, OpenLoopSpec};
 use simnet::engine::{Engine, Step};
 use simnet::faults::{fault_key, FaultSpec};
-use simnet::resource::Dir;
+use simnet::resource::{Dir, MultiServer};
 use simnet::rng::SimRng;
 use simnet::stats::Histogram;
 use simnet::time::Nanos;
@@ -67,10 +68,29 @@ pub(crate) enum Ev {
 }
 
 /// Per-stream measurement aggregate on one shard.
+///
+/// The open-loop fields (`generated` and below) stay zero for
+/// closed-loop streams; they cover the *whole* run (not just the
+/// measurement window) so the ops-conservation invariant
+/// `generated == total_completed + dropped + outstanding` holds exactly
+/// at the horizon.
 pub(crate) struct StreamAgg {
     pub hist: Histogram,
     pub ops: u64,
     pub bytes: u64,
+    /// Open-loop arrivals generated on this shard.
+    pub generated: u64,
+    /// Open-loop ops rejected by the responder's admission queue
+    /// (counted at the requester when the NACK arrives, so in-flight
+    /// NACKs stay in `outstanding`).
+    pub dropped: u64,
+    /// Open-loop completions at any instant inside the run.
+    pub total_completed: u64,
+    /// Open-loop ops issued but not yet completed or dropped.
+    pub outstanding: u64,
+    /// Summed issue slip past the intended arrival (CPU-side excess
+    /// delay, the part coordinated omission would have hidden).
+    pub excess_ns: u64,
 }
 
 /// Shard-local counters, merged into the result registry in shard order.
@@ -104,7 +124,19 @@ struct Outstanding {
     attempt: u32,
 }
 
-/// A stream's shard-local slice: config + its requester threads.
+/// Open-loop state of a stream's shard-local slice: the arrival chain
+/// plus the posting-core pool that turns intended arrivals into issues
+/// (its backlog is the *excess delay* a closed loop would hide).
+struct OpenLocal {
+    gen: ArrivalGen,
+    posters: MultiServer,
+    /// Logical user of the arrival event currently scheduled (drawn
+    /// together with its instant; events only carry u16 indices).
+    next_user: u64,
+}
+
+/// A stream's shard-local slice: config + its requester threads
+/// (closed loop) or arrival generator (open loop).
 struct LocalStream {
     verb: Verb,
     path: PathKind,
@@ -113,6 +145,7 @@ struct LocalStream {
     addr_range: u64,
     cpu_cost: Nanos,
     threads: Vec<LocalThread>,
+    open: Option<OpenLocal>,
 }
 
 enum Model {
@@ -132,6 +165,9 @@ pub(crate) struct Shard {
     engine: Engine<Ev>,
     model: Model,
     streams: Vec<Option<LocalStream>>,
+    /// Server shards only: per-stream admission queues for open-loop
+    /// streams (None = closed loop, no admission control).
+    admission: Vec<Option<AdmissionQueue>>,
     aggs: Vec<StreamAgg>,
     counters: ShardCounters,
     outbox: Vec<NetMsg>,
@@ -159,11 +195,17 @@ impl Shard {
             engine: Engine::new(),
             model,
             streams: (0..n_streams).map(|_| None).collect(),
+            admission: (0..n_streams).map(|_| None).collect(),
             aggs: (0..n_streams)
                 .map(|_| StreamAgg {
                     hist: Histogram::new(),
                     ops: 0,
                     bytes: 0,
+                    generated: 0,
+                    dropped: 0,
+                    total_completed: 0,
+                    outstanding: 0,
+                    excess_ns: 0,
                 })
                 .collect(),
             counters: ShardCounters::default(),
@@ -234,10 +276,15 @@ impl Shard {
         )
     }
 
-    /// Installs a stream's shard-local slice (`n_threads` closed-loop
-    /// threads, each with `stream.window` outstanding slots) and seeds
-    /// the initial window with jittered posts so same-instant FIFO
-    /// ordering does not favour stream 0.
+    /// Installs a stream's shard-local slice and seeds its initial
+    /// events. Closed loop (`open == None`): `n_threads` requester
+    /// threads, each with `stream.window` outstanding slots, seeded
+    /// with jittered posts so same-instant FIFO ordering does not
+    /// favour stream 0. Open loop: an arrival generator (the spec must
+    /// already carry this shard's *share* of the offered load) whose
+    /// chain of intended-arrival events replaces the window; the
+    /// `n_threads` posting cores bound the issue rate, and any slip
+    /// past the intended arrival is recorded as excess delay.
     ///
     /// # Panics
     ///
@@ -250,12 +297,14 @@ impl Shard {
         cpu_cost: Nanos,
         n_threads: usize,
         rng: &mut SimRng,
+        open: Option<OpenLoopSpec>,
     ) {
         assert!(
             self.streams[idx].is_none(),
             "stream {idx} installed twice on shard {} (duplicate client index?)",
             self.id
         );
+        let mut open_rng = rng.fork(((idx as u64) << 32) | 0xA11);
         let threads = (0..n_threads)
             .map(|t| LocalThread {
                 cpu_free: Nanos::ZERO,
@@ -264,6 +313,42 @@ impl Shard {
                 posts: 0,
             })
             .collect();
+        // Open loop: seed the arrival chain with one pending intended
+        // arrival; each delivery schedules its successor.
+        let open = open.map(|spec| {
+            let mut gen = ArrivalGen::new(spec.process.clone(), spec.users, open_rng.fork(1));
+            let first = gen.next_arrival();
+            self.engine
+                .schedule(
+                    first.at,
+                    Ev::Post {
+                        stream: idx as u16,
+                        thread: 0,
+                    },
+                )
+                .expect("first arrival is not in the past");
+            OpenLocal {
+                gen,
+                posters: MultiServer::new(n_threads.max(1)),
+                next_user: first.user,
+            }
+        });
+        if open.is_none() {
+            for t in 0..n_threads {
+                for w in 0..stream.window {
+                    let jitter = Nanos::new((idx + t * 7 + w * 13) as u64 % 97);
+                    self.engine
+                        .schedule(
+                            jitter,
+                            Ev::Post {
+                                stream: idx as u16,
+                                thread: t as u16,
+                            },
+                        )
+                        .expect("seeding events at t~0");
+                }
+            }
+        }
         self.streams[idx] = Some(LocalStream {
             verb: stream.verb,
             path: stream.path,
@@ -272,21 +357,20 @@ impl Shard {
             addr_range: stream.addr_range,
             cpu_cost,
             threads,
+            open,
         });
-        for t in 0..n_threads {
-            for w in 0..stream.window {
-                let jitter = Nanos::new((idx + t * 7 + w * 13) as u64 % 97);
-                self.engine
-                    .schedule(
-                        jitter,
-                        Ev::Post {
-                            stream: idx as u16,
-                            thread: t as u16,
-                        },
-                    )
-                    .expect("seeding events at t~0");
-            }
-        }
+    }
+
+    /// Installs an admission queue guarding `idx` on this (server)
+    /// shard: every inbound open-loop request of the stream passes
+    /// through it before reserving responder resources.
+    pub(crate) fn install_admission(&mut self, idx: usize, queue: AdmissionQueue) {
+        self.admission[idx] = Some(queue);
+    }
+
+    /// The admission queue guarding stream `idx`, if one is installed.
+    pub(crate) fn admission(&self, idx: usize) -> Option<&AdmissionQueue> {
+        self.admission[idx].as_ref()
     }
 
     /// The delivery time of the shard's next pending event, if any.
@@ -341,6 +425,7 @@ impl Shard {
             engine,
             model,
             streams,
+            admission,
             aggs,
             counters,
             outbox,
@@ -359,6 +444,92 @@ impl Shard {
                     let st = streams[si]
                         .as_mut()
                         .expect("post event for a stream not installed on this shard");
+                    if let Some(open) = st.open.as_mut() {
+                        // Open loop: this event is an *intended arrival*.
+                        // Latency is measured from `now` no matter how
+                        // late the posting cores get to it — that gap is
+                        // what coordinated omission would have hidden.
+                        let user = open.next_user;
+                        let next = open.gen.next_arrival();
+                        open.next_user = next.user;
+                        eng.schedule(next.at, Ev::Post { stream, thread: 0 })
+                            .expect("arrival chain advances strictly");
+                        let issue = open.posters.reserve(now, st.cpu_cost);
+                        let agg = &mut aggs[si];
+                        agg.generated += 1;
+                        agg.excess_ns += issue.start.saturating_sub(now).as_nanos();
+                        let addr = if st.addr_range >= ADDR_ALIGN {
+                            user_home_addr(user, st.addr_base, st.addr_range, ADDR_ALIGN)
+                        } else {
+                            st.addr_base
+                        };
+                        counters.posted += 1;
+                        match model {
+                            Model::Client {
+                                machine,
+                                server_shard,
+                            } => {
+                                let outbound = match st.verb {
+                                    Verb::Read => 0,
+                                    Verb::Write | Verb::Send => st.payload,
+                                };
+                                let nic_seen = issue.start + machine.mmio_transit();
+                                let depart = machine.issue_with_wire(nic_seen, outbound, outbound);
+                                let xid = *next_xid;
+                                *next_xid += 1;
+                                agg.outstanding += 1;
+                                outbox.push(NetMsg {
+                                    src: *id,
+                                    dst: *server_shard,
+                                    seq: *out_seq,
+                                    depart,
+                                    bytes: outbound,
+                                    kind: MsgKind::Request {
+                                        verb: st.verb,
+                                        payload: st.payload,
+                                        addr,
+                                        endpoint: st.path.responder(),
+                                        stream,
+                                        thread,
+                                        // Intended arrival, echoed back:
+                                        // CO-free latency falls out.
+                                        posted: now,
+                                        xid,
+                                    },
+                                });
+                                *out_seq += 1;
+                                // Open-loop ops are never retransmitted:
+                                // rejection is an explicit NACK, not a
+                                // timeout, so no recovery state is armed.
+                            }
+                            Model::Server { fabric, .. } => {
+                                // Open path-3 stream: admission and the
+                                // whole round trip stay on this machine,
+                                // so a rejection is synchronous.
+                                let q = admission[si]
+                                    .as_mut()
+                                    .expect("open path-3 stream has an admission queue");
+                                match q.offer(issue.start) {
+                                    Admission::Admit => {
+                                        fabric.apply_fault_windows(issue.start);
+                                        let req =
+                                            RequestDesc::new(st.verb, st.path, st.payload, addr, 0);
+                                        let c = fabric.execute(issue.start, req);
+                                        q.commit(c.nic_start);
+                                        agg.total_completed += 1;
+                                        if in_window(c.completed) {
+                                            agg.hist.record(c.completed.saturating_sub(now));
+                                            agg.ops += 1;
+                                            agg.bytes += st.payload;
+                                            counters.completed += 1;
+                                        }
+                                    }
+                                    _ => agg.dropped += 1,
+                                }
+                            }
+                        }
+                        return Step::Continue;
+                    }
                     let th = &mut st.threads[thread as usize];
                     // CPU pacing: defer instead of reserving ahead, so
                     // FIFO resources stay available to earlier posts.
@@ -533,7 +704,39 @@ impl Shard {
                             wire_bytes(bytes),
                             wire_frames(bytes),
                         );
+                        if let Some(q) = admission[stream as usize].as_mut() {
+                            // Open-loop stream: the request passes the
+                            // bounded admission queue before touching any
+                            // responder resource past the RX wire. A
+                            // rejection answers with a header-only NACK.
+                            if !matches!(q.offer(now), Admission::Admit) {
+                                let wout = server.wire.reserve(
+                                    Dir::Rev,
+                                    win.finish.max(drained),
+                                    wire_bytes(0),
+                                    wire_frames(0),
+                                );
+                                outbox.push(NetMsg {
+                                    src: *id,
+                                    dst: from,
+                                    seq: *out_seq,
+                                    depart: wout.start,
+                                    bytes: 0,
+                                    kind: MsgKind::Drop {
+                                        stream,
+                                        thread,
+                                        posted,
+                                        xid,
+                                    },
+                                });
+                                *out_seq += 1;
+                                return Step::Continue;
+                            }
+                        }
                         let pu = server.reserve_pu(win.start, endpoint);
+                        if let Some(q) = admission[stream as usize].as_mut() {
+                            q.commit(pu.start);
+                        }
                         let (op, dma_bytes) = match verb {
                             Verb::Read => (MemOp::Read, payload),
                             Verb::Write | Verb::Send => (MemOp::Write, payload),
@@ -581,6 +784,27 @@ impl Shard {
                             xid,
                         },
                     ) => {
+                        let si = stream as usize;
+                        let st = streams[si]
+                            .as_ref()
+                            .expect("response for a stream not installed on this shard");
+                        if st.open.is_some() {
+                            // Open loop: record the CO-free latency
+                            // (response instant minus *intended* arrival)
+                            // and retire the op. No repost — the arrival
+                            // chain, not completions, drives the load.
+                            let completed = machine.complete(now, bytes).max(drained);
+                            let a = &mut aggs[si];
+                            a.total_completed += 1;
+                            a.outstanding -= 1;
+                            if in_window(completed) {
+                                a.hist.record(completed.saturating_sub(posted));
+                                a.ops += 1;
+                                a.bytes += st.payload;
+                                counters.completed += 1;
+                            }
+                            return Step::Continue;
+                        }
                         // With recovery armed, only the first response
                         // for an xid completes the operation; duplicates
                         // (a late original racing its retransmission)
@@ -589,10 +813,6 @@ impl Shard {
                             counters.dup_responses += 1;
                             return Step::Continue;
                         }
-                        let si = stream as usize;
-                        let st = streams[si]
-                            .as_ref()
-                            .expect("response for a stream not installed on this shard");
                         let completed = machine.complete(now, bytes).max(drained);
                         if in_window(completed) {
                             let a = &mut aggs[si];
@@ -604,6 +824,17 @@ impl Shard {
                         // Refill this window slot.
                         eng.schedule(completed.max(now), Ev::Post { stream, thread })
                             .expect("completion is in the future");
+                    }
+                    (Model::Client { machine, .. }, MsgKind::Drop { stream, .. }) => {
+                        // Admission NACK: the header still drains through
+                        // the client NIC's completion path, then the op is
+                        // accounted as dropped (it left `outstanding` only
+                        // now, so in-flight NACKs keep the conservation
+                        // invariant exact at any horizon).
+                        let _ = machine.complete(now, bytes).max(drained);
+                        let a = &mut aggs[stream as usize];
+                        a.dropped += 1;
+                        a.outstanding -= 1;
                     }
                     _ => unreachable!("message kind does not match the shard's role"),
                 },

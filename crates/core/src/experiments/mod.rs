@@ -19,6 +19,7 @@ pub mod fig8_large_read;
 pub mod fig9_path3;
 pub mod incast;
 pub mod motivation;
+pub mod openloop;
 pub mod table3_packets;
 
 use simnet::time::Nanos;

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
@@ -32,6 +33,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use arrivals::{
+    Admission, AdmissionQueue, Arrival, ArrivalGen, ArrivalProcess, DropPolicy, OpenLoopSpec,
+};
 pub use engine::{BaselineEngine, Engine, ScheduleError, Step};
 pub use faults::{fault_key, DegradedWindow, FaultPlane, FaultSpec, StallWindow};
 pub use metrics::{CounterId, HistogramId, Hop, HopBreakdown, Registry, SpanSet};

@@ -190,6 +190,7 @@ impl Histogram {
             p50: self.percentile(50.0),
             p90: self.percentile(90.0),
             p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
             min: self.min(),
             max: self.max(),
         }
@@ -209,6 +210,8 @@ pub struct LatencySummary {
     pub p90: Nanos,
     /// 99th percentile.
     pub p99: Nanos,
+    /// 99.9th percentile (the open-loop tail experiments report it).
+    pub p999: Nanos,
     /// Minimum.
     pub min: Nanos,
     /// Maximum.
@@ -219,8 +222,8 @@ impl core::fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "n={} mean={} p50={} p90={} p99={} min={} max={}",
-            self.count, self.mean, self.p50, self.p90, self.p99, self.min, self.max
+            "n={} mean={} p50={} p90={} p99={} p99.9={} min={} max={}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.p999, self.min, self.max
         )
     }
 }

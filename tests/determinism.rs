@@ -357,6 +357,68 @@ fn cluster_worker_count_invariance_with_faults() {
 }
 
 #[test]
+fn cluster_worker_count_invariance_openloop() {
+    // Open-loop arrival chains must be just as worker-count-invariant as
+    // the closed loop: the Poisson chains are forked per stream index,
+    // admission verdicts depend only on committed service starts, and
+    // drop NACKs ride the same deterministic message plane. Overload one
+    // stream so drops (the newest codepath) demonstrably fire.
+    use offpath_smartnic::cluster::{run_cluster, ClusterScenario, ClusterStream};
+    use offpath_smartnic::simnet::arrivals::{DropPolicy, OpenLoopSpec};
+
+    let run = |workers: usize| {
+        let mut sc = ClusterScenario::quick().with_workers(workers).with_seed(17);
+        sc.cluster.clients.truncate(6);
+        let streams = vec![
+            ClusterStream::new(PathKind::Snic1, Verb::Write, 512, vec![0, 1, 2])
+                .open_loop(OpenLoopSpec::poisson(60.0e6).with_queue_cap(16)),
+            ClusterStream::new(PathKind::Snic2, Verb::Read, 256, vec![3, 4, 5]).open_loop(
+                OpenLoopSpec::poisson(2.0e6)
+                    .with_policy(DropPolicy::DropDeadline(Nanos::from_micros(20))),
+            ),
+            ClusterStream::new(PathKind::Snic3H2S, Verb::Write, 1024, vec![])
+                .open_loop(OpenLoopSpec::poisson(2.0e6)),
+        ];
+        run_cluster(&sc, &streams)
+    };
+    let a = run(1);
+    let b = run(2);
+    let c = run(8);
+    let count = |r: &offpath_smartnic::cluster::ClusterResult, name: &str| {
+        r.metrics
+            .counters()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    };
+    // Non-trivial: arrivals were generated, completions happened, and the
+    // overloaded stream actually shed load.
+    assert!(a.streams.iter().all(|s| s.generated > 100));
+    assert!(a.streams[0].dropped > 0, "overload never dropped");
+    // Conservation holds on the registry the workers merged.
+    assert_eq!(
+        count(&a, "openloop_generated"),
+        count(&a, "openloop_completed")
+            + count(&a, "openloop_dropped")
+            + count(&a, "openloop_inflight")
+    );
+    for (other, n) in [(&b, 2), (&c, 8)] {
+        assert_eq!(
+            a.to_csv().as_bytes(),
+            other.to_csv().as_bytes(),
+            "open-loop CSV diverged between 1 and {n} workers:\n{}\nvs\n{}",
+            a.to_csv(),
+            other.to_csv()
+        );
+        assert_eq!(a.epochs, other.epochs, "epoch schedule diverged");
+        assert_eq!(a.messages, other.messages, "message count diverged");
+        let ca: Vec<(&str, u64)> = a.metrics.counters().collect();
+        let co: Vec<(&str, u64)> = other.metrics.counters().collect();
+        assert_eq!(ca, co, "metrics registry diverged at {n} workers");
+    }
+}
+
+#[test]
 fn kvstore_deterministic() {
     use offpath_smartnic::kvstore::{run_gets, Design, KeyDist, KvConfig};
     let cfg = KvConfig {

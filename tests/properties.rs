@@ -143,6 +143,49 @@ fn histogram_percentiles_monotone() {
     });
 }
 
+/// Open-loop runs conserve operations exactly: every generated arrival
+/// is either completed, dropped by admission, or still in flight at the
+/// horizon — for any rate, queue bound, drop policy and path.
+#[test]
+fn open_loop_conserves_ops() {
+    check("open_loop_conserves_ops", |g| {
+        use offpath_smartnic::simnet::arrivals::{DropPolicy, OpenLoopSpec};
+        use offpath_smartnic::study::harness::{run_open_loop, OpenStreamSpec, Scenario};
+
+        let paths = [
+            PathKind::Snic1,
+            PathKind::Snic2,
+            PathKind::Snic3H2S,
+            PathKind::Snic3S2H,
+        ];
+        let path = paths[g.usize(0..paths.len())];
+        let rate = g.u64(1..40) as f64 * 1e6;
+        let policy = if g.u32(0..2) == 0 {
+            DropPolicy::DropTail
+        } else {
+            DropPolicy::DropDeadline(Nanos::from_micros(g.u64(5..50)))
+        };
+        let spec = OpenLoopSpec::poisson(rate)
+            .with_queue_cap(g.usize(4..256))
+            .with_policy(policy);
+        let scenario = Scenario {
+            warmup: Nanos::from_micros(50),
+            duration: Nanos::from_micros(300),
+            seed: g.u64(0..1_000_000),
+            ..Scenario::default()
+        };
+        let payload = g.u64(1..4096);
+        let r = run_open_loop(
+            &scenario,
+            &[OpenStreamSpec::new(path, Verb::Write, payload, spec)],
+        );
+        let s = &r.streams[0];
+        prop_assert!(s.generated > 0, "no arrivals generated");
+        prop_assert_eq!(s.generated, s.completed_total + s.dropped() + s.inflight);
+        Ok(())
+    });
+}
+
 /// KV index: any insertion set round-trips, whatever the key set.
 #[test]
 fn kv_index_roundtrip() {

@@ -2,6 +2,6 @@
 
 fn main() {
     let opts = snic_bench::Options::from_args();
-    let table = snic_kvstore::fig1_table(opts.quick);
+    let table = snic_core::experiments::kv_tables::fig1_table(opts.quick);
     snic_bench::emit("fig1_kvstore", &[table], &opts);
 }

@@ -2,7 +2,8 @@
 //!
 //! Runs the perf-trajectory suite (single-machine Fig-4 sweep, the
 //! cluster Fig-5 combination at 1/2/8 workers, the incast fan-in, a
-//! faulty cluster run, and an open-loop arrival-driven run), printing
+//! faulty cluster run, an open-loop arrival-driven run, and the KV
+//! service under the online advisor), printing
 //! events/sec per scenario and emitting a
 //! machine-readable `BENCH_<date>.json` snapshot in the current
 //! directory. Committed snapshots in the repo root form the trajectory
@@ -28,8 +29,11 @@ use simnet::faults::{DegradedWindow, FaultSpec};
 use simnet::time::Nanos;
 use snic_bench::report::{validate_snapshot, Snapshot, EXPECTED_BENCHES};
 use snic_bench::timing::{Bench, Measurement};
-use snic_cluster::{run_cluster, ClusterScenario, ClusterStream};
+use snic_cluster::{
+    advisor_policy, run_cluster, ClusterScenario, ClusterStream, KvPlacement, KvStreamSpec,
+};
 use snic_core::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
+use snic_kvstore::{KeyDist, Mix};
 
 /// Default timed iterations per macro bench (override: `BENCH_SAMPLES`).
 const DEFAULT_SAMPLES: usize = 5;
@@ -128,6 +132,22 @@ fn openloop() -> u64 {
     run_cluster(&sc, &[a, b]).events
 }
 
+/// The KV service under the online advisor: YCSB-B over an open-loop
+/// Poisson stream hot enough that the advisor re-places the index,
+/// exercising the KV request routing, probe chains, the per-window
+/// observation plumbing and the epoch decision chain.
+fn kv_cluster() -> u64 {
+    let sc = bench_cluster(2);
+    let spec = KvStreamSpec::new(
+        Mix::B,
+        KeyDist::Zipf(0.99),
+        KvPlacement::Online(advisor_policy),
+    );
+    let stream =
+        ClusterStream::kv_service(spec, (0..6).collect()).open_loop(OpenLoopSpec::poisson(10.0e6));
+    run_cluster(&sc, &[stream]).events
+}
+
 fn usage() -> ! {
     eprintln!(
         "perf: macro benchmarks tracking simulator events/sec\n\
@@ -179,6 +199,7 @@ fn main() {
         ("incast", incast),
         ("faults", faults),
         ("openloop", openloop),
+        ("kv_cluster", kv_cluster),
     ];
 
     let mut measurements: Vec<Measurement> = Vec::new();

@@ -18,7 +18,7 @@ fn main() {
     type Job = (&'static str, fn(bool) -> Vec<Table>);
     let jobs: Vec<Job> = vec![
         ("00_fig_motivation", e::motivation::run),
-        ("01_fig1_kvstore", |q| vec![snic_kvstore::fig1_table(q)]),
+        ("01_fig1_kvstore", |q| vec![e::kv_tables::fig1_table(q)]),
         ("02_fig3_breakdown", e::fig3_breakdown::run),
         ("02b_breakdown_measured", e::fig3_breakdown::run_measured),
         ("03_fig4_lat_tput", e::fig4_lat_tput::run),
@@ -35,6 +35,7 @@ fn main() {
         ("14_incast", e::incast::run),
         ("15_faults", e::faults::run),
         ("16_openloop", e::openloop::run),
+        ("17_kv_cluster", e::kv_cluster::run),
     ];
     let jobs: Vec<Job> = match &opts.only {
         Some(prefix) => {

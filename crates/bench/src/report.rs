@@ -25,6 +25,7 @@ pub const EXPECTED_BENCHES: &[&str] = &[
     "incast",
     "faults",
     "openloop",
+    "kv_cluster",
 ];
 
 /// One benchmark's record in the snapshot.

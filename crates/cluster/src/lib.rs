@@ -18,13 +18,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kv;
 pub mod msg;
 mod runtime;
 pub mod scenario;
 mod shard;
 pub mod switch;
 
-pub use msg::{MsgKind, NetMsg, ShardId};
+pub use kv::{advisor_policy, kv_home_server, KvPlacement, KvPolicy, KvStreamSpec, KvWindowObs};
+pub use msg::{KvOp, KvRespKind, MsgKind, NetMsg, ShardId};
 pub use scenario::{
     run_cluster, ClusterResult, ClusterScenario, ClusterStream, ClusterStreamResult,
 };

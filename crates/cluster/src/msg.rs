@@ -61,6 +61,83 @@ pub enum MsgKind {
         /// Transaction id echoed from the request.
         xid: u64,
     },
+    /// A KV-service operation from a client towards a key's home server.
+    KvReq {
+        /// The operation.
+        op: KvOp,
+        /// Key being operated on (servers route it to their index).
+        key: u64,
+        /// Global stream index of the KV stream.
+        stream: u16,
+        /// Thread index within the issuing shard's stream.
+        thread: u16,
+        /// When the *operation* was posted — echoed across every trip of
+        /// a multi-trip one-sided chain so latency covers the whole op.
+        posted: Nanos,
+        /// Client-side transaction id (stable across chain trips).
+        xid: u64,
+    },
+    /// A KV-service reply from a server.
+    KvResp {
+        /// What came back.
+        kind: KvRespKind,
+        /// Global stream index of the KV stream.
+        stream: u16,
+        /// Thread index within the destination shard's stream.
+        thread: u16,
+        /// Original op post instant, echoed back.
+        posted: Nanos,
+        /// Transaction id echoed from the request.
+        xid: u64,
+    },
+}
+
+/// A KV request's operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Look the key up and return its value (server CPU path; the
+    /// server's current placement decides which CPU).
+    Get,
+    /// Install/overwrite the value (always host-served: the index and
+    /// value region live in host memory and puts mutate both).
+    Put,
+    /// One-sided probe READ of the `hop`-th bucket on the key's chain
+    /// (hop 0 is answered by `Get` under the one-sided placement).
+    Probe {
+        /// 0-based probe-chain hop to read.
+        hop: u32,
+    },
+    /// One-sided READ of the value region.
+    ValueRead {
+        /// Value address learned from the chain reply.
+        addr: u64,
+        /// Bytes to read.
+        len: u32,
+    },
+}
+
+/// A KV response's payload description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvRespKind {
+    /// The value, served by a server CPU (op complete).
+    Value {
+        /// Value bytes on the wire.
+        len: u32,
+    },
+    /// Header-only put acknowledgement (op complete).
+    PutAck,
+    /// First one-sided reply: the home bucket plus what the chain
+    /// holds, so the client can drive the remaining READs itself.
+    Chain {
+        /// Total probes the lookup needs (1 = home bucket sufficed).
+        probes: u32,
+        /// Address of the value in the server's value region.
+        value_addr: u64,
+        /// Value length.
+        value_len: u32,
+    },
+    /// A follow-up probe READ's bucket data.
+    Bucket,
 }
 
 /// One message in flight between two shards.

@@ -13,17 +13,22 @@ use std::collections::HashMap;
 use memsys::MemOp;
 use nicsim::client::{wire_bytes, wire_frames};
 use nicsim::server::pipeline_out;
-use nicsim::{ClientMachine, Fabric, PathKind, RequestDesc, Verb};
+use nicsim::{ClientMachine, Endpoint, Fabric, PathKind, RequestDesc, ServerMachine, Verb};
 use rdma_sim::transport::{RecvQueue, SendFlags, SignalTracker};
 use simnet::arrivals::{user_home_addr, Admission, AdmissionQueue, ArrivalGen, OpenLoopSpec};
 use simnet::engine::{Engine, Step};
 use simnet::faults::{fault_key, FaultSpec};
 use simnet::resource::{Dir, MultiServer};
-use simnet::rng::SimRng;
+use simnet::rng::{SimRng, Zipf};
 use simnet::stats::Histogram;
 use simnet::time::Nanos;
+use snic_kvstore::{Design, BUCKET_BYTES};
 
-use crate::msg::{MsgKind, NetMsg, ShardId};
+use crate::kv::{
+    kv_home_server, KvPending, KvServer, KvStreamSpec, KV_HOST_PROBE, KV_INDEX_BASE, KV_PUT_EXTRA,
+    KV_REQ_BYTES, KV_SOC_PROBE, KV_VALUES_BASE, SOC_BANKS, SOC_BANK_HOLD,
+};
+use crate::msg::{KvOp, KvRespKind, MsgKind, NetMsg, ShardId};
 use crate::scenario::ClusterStream;
 
 /// Receive-queue depth used by the responder's echo loop (the paper's
@@ -65,6 +70,11 @@ pub(crate) enum Ev {
         /// Attempt number this timeout was armed for.
         attempt: u32,
     },
+    /// A KV epoch boundary on a server shard: the online advisor closes
+    /// its observation window and re-decides the index placement. Fires
+    /// at fixed simulated instants from shard-local state only, so
+    /// worker-count byte-invariance is preserved.
+    KvEpoch,
 }
 
 /// Per-stream measurement aggregate on one shard.
@@ -135,6 +145,19 @@ struct OpenLocal {
     next_user: u64,
 }
 
+/// Client-side slice of the KV service stream: the op generator. The
+/// client only picks keys and routes them — which CPU (if any) serves
+/// a get is the *server's* current placement decision, invisible here
+/// until the reply's shape (value vs. probe chain) comes back.
+struct KvClient {
+    read_fraction: f64,
+    zipf: Option<Zipf>,
+    n_keys: u64,
+    value_size: u32,
+    n_clients: usize,
+    n_servers: usize,
+}
+
 /// A stream's shard-local slice: config + its requester threads
 /// (closed loop) or arrival generator (open loop).
 struct LocalStream {
@@ -146,6 +169,7 @@ struct LocalStream {
     cpu_cost: Nanos,
     threads: Vec<LocalThread>,
     open: Option<OpenLocal>,
+    kv: Option<KvClient>,
 }
 
 enum Model {
@@ -180,6 +204,11 @@ pub(crate) struct Shard {
     retry: Option<(Nanos, u32)>,
     outstanding: HashMap<u64, Outstanding>,
     next_xid: u64,
+    /// Server shards only: KV serving state (index + placement).
+    kv_server: Option<KvServer>,
+    /// Client shards only: in-flight KV gets, keyed by xid (the key is
+    /// needed when a one-sided chain reply asks for follow-up probes).
+    kv_pending: HashMap<u64, KvPending>,
 }
 
 impl Shard {
@@ -216,6 +245,8 @@ impl Shard {
             retry: None,
             outstanding: HashMap::new(),
             next_xid: 0,
+            kv_server: None,
+            kv_pending: HashMap::new(),
         }
     }
 
@@ -358,7 +389,54 @@ impl Shard {
             cpu_cost,
             threads,
             open,
+            kv: None,
         });
+    }
+
+    /// Marks an installed stream as the KV service's client slice: its
+    /// posts become KV ops routed to each key's home server instead of
+    /// raw verbs towards the scenario's responder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not installed on this shard.
+    pub(crate) fn install_kv_client(
+        &mut self,
+        idx: usize,
+        spec: &KvStreamSpec,
+        n_clients: usize,
+        n_servers: usize,
+    ) {
+        let st = self.streams[idx]
+            .as_mut()
+            .expect("KV client slice requires the stream to be installed first");
+        st.kv = Some(KvClient {
+            read_fraction: spec.mix.read_fraction(),
+            zipf: match spec.dist {
+                snic_kvstore::KeyDist::Zipf(theta) => Some(Zipf::new(spec.n_keys as usize, theta)),
+                snic_kvstore::KeyDist::Uniform => None,
+            },
+            n_keys: spec.n_keys,
+            value_size: spec.value_size,
+            n_clients,
+            n_servers,
+        });
+    }
+
+    /// Installs the KV serving state on this (server) shard and, for
+    /// online placements, seeds the epoch chain.
+    pub(crate) fn install_kv_server(&mut self, kv: KvServer) {
+        if kv.policy.is_some() {
+            self.engine
+                .schedule(kv.decision_every, Ev::KvEpoch)
+                .expect("first KV epoch is in the future");
+        }
+        self.kv_server = Some(kv);
+    }
+
+    /// The shard's KV serving state, if any.
+    pub(crate) fn kv(&self) -> Option<&KvServer> {
+        self.kv_server.as_ref()
     }
 
     /// Installs an admission queue guarding `idx` on this (server)
@@ -435,6 +513,8 @@ impl Shard {
             retry,
             outstanding,
             next_xid,
+            kv_server,
+            kv_pending,
         } = self;
         let in_window = |t: Nanos| t > *measure_from && t <= *measure_to;
         engine.run_until(deadline, |eng, now, ev| {
@@ -444,6 +524,97 @@ impl Shard {
                     let st = streams[si]
                         .as_mut()
                         .expect("post event for a stream not installed on this shard");
+                    if st.kv.is_some() {
+                        // KV service stream: this post becomes one YCSB
+                        // op routed to the key's home server. The key is
+                        // drawn *here*, so routing fans the stream out
+                        // across all server shards.
+                        let (issue_start, is_open) = if let Some(open) = st.open.as_mut() {
+                            let next = open.gen.next_arrival();
+                            open.next_user = next.user;
+                            eng.schedule(next.at, Ev::Post { stream, thread: 0 })
+                                .expect("arrival chain advances strictly");
+                            let issue = open.posters.reserve(now, st.cpu_cost);
+                            (issue.start, true)
+                        } else {
+                            let th = &mut st.threads[thread as usize];
+                            if th.cpu_free > now {
+                                counters.deferred += 1;
+                                eng.schedule(th.cpu_free, ev)
+                                    .expect("deferred post is in the future");
+                                return Step::Continue;
+                            }
+                            th.cpu_free = now + st.cpu_cost;
+                            if th.signal.on_post(SendFlags::unsignaled()) {
+                                counters.forced_signals += 1;
+                            }
+                            (now, false)
+                        };
+                        let LocalStream { kv, threads, .. } = st;
+                        let kvc = kv.as_ref().expect("checked above");
+                        let th = &mut threads[if is_open { 0 } else { thread as usize }];
+                        let key = match &kvc.zipf {
+                            Some(z) => z.sample(&mut th.rng) as u64,
+                            None => th.rng.uniform_u64(kvc.n_keys),
+                        };
+                        let is_read = th.rng.chance(kvc.read_fraction);
+                        let (op, outbound) = if is_read {
+                            (KvOp::Get, KV_REQ_BYTES)
+                        } else {
+                            (KvOp::Put, KV_REQ_BYTES + kvc.value_size as u64)
+                        };
+                        let dst = kvc.n_clients + kv_home_server(key, kvc.n_servers);
+                        counters.posted += 1;
+                        let Model::Client { machine, .. } = &mut *model else {
+                            unreachable!("the KV stream's slices live on client shards")
+                        };
+                        let nic_seen = issue_start + machine.mmio_transit();
+                        let depart = machine.issue_with_wire(nic_seen, outbound, outbound);
+                        let xid = *next_xid;
+                        *next_xid += 1;
+                        if is_read {
+                            // Gets may come back as a one-sided probe
+                            // chain; remember the key so follow-up READs
+                            // can be addressed.
+                            kv_pending.insert(
+                                xid,
+                                KvPending {
+                                    server: dst,
+                                    key,
+                                    probes: 0,
+                                    next_hop: 0,
+                                    value_addr: 0,
+                                    value_len: 0,
+                                },
+                            );
+                        }
+                        let agg = &mut aggs[si];
+                        if is_open {
+                            agg.generated += 1;
+                            agg.excess_ns += issue_start.saturating_sub(now).as_nanos();
+                            agg.outstanding += 1;
+                        }
+                        outbox.push(NetMsg {
+                            src: *id,
+                            dst,
+                            seq: *out_seq,
+                            depart,
+                            bytes: outbound,
+                            kind: MsgKind::KvReq {
+                                op,
+                                key,
+                                stream,
+                                thread,
+                                // Intended arrival (open) / post instant
+                                // (closed), echoed across every trip of
+                                // the op so latency spans the whole op.
+                                posted: now,
+                                xid,
+                            },
+                        });
+                        *out_seq += 1;
+                        return Step::Continue;
+                    }
                     if let Some(open) = st.open.as_mut() {
                         // Open loop: this event is an *intended arrival*.
                         // Latency is measured from `now` no matter how
@@ -776,6 +947,374 @@ impl Shard {
                         *out_seq += 1;
                     }
                     (
+                        Model::Server { fabric, .. },
+                        MsgKind::KvReq {
+                            op,
+                            key,
+                            stream,
+                            thread,
+                            posted,
+                            xid,
+                        },
+                    ) => {
+                        let kv = kv_server
+                            .as_mut()
+                            .expect("KV request at a server without KV serving state");
+                        fabric.apply_fault_windows(now);
+                        let stochastic = fabric
+                            .faults()
+                            .map(|p| p.has_stochastic_faults())
+                            .unwrap_or(false);
+                        let win = fabric.server.wire.reserve(
+                            Dir::Fwd,
+                            now,
+                            wire_bytes(bytes),
+                            wire_frames(bytes),
+                        );
+                        let ready = win.finish.max(drained);
+                        let n = kv.index.n_buckets();
+                        let (resp_ready, resp_kind, resp_bytes) = match op {
+                            KvOp::Probe { hop } => {
+                                // One-sided probe READ: NIC pipeline +
+                                // host-memory DMA, no CPU anywhere.
+                                kv.probe_trips += 1;
+                                let pu = fabric.server.reserve_pu(win.start, Endpoint::Host);
+                                let home = kv.index.home_bucket(key);
+                                let addr = KV_INDEX_BASE
+                                    + (((home + hop as usize) % n) as u64) * BUCKET_BYTES;
+                                let leg = fabric.server.dma(
+                                    pipeline_out(&pu),
+                                    Endpoint::Host,
+                                    MemOp::Read,
+                                    addr,
+                                    BUCKET_BYTES,
+                                    true,
+                                );
+                                (leg.data_ready.max(ready), KvRespKind::Bucket, BUCKET_BYTES)
+                            }
+                            KvOp::ValueRead { addr, len } => {
+                                kv.probe_trips += 1;
+                                let pu = fabric.server.reserve_pu(win.start, Endpoint::Host);
+                                let leg = fabric.server.dma(
+                                    pipeline_out(&pu),
+                                    Endpoint::Host,
+                                    MemOp::Read,
+                                    addr,
+                                    len as u64,
+                                    true,
+                                );
+                                (
+                                    leg.data_ready.max(ready),
+                                    KvRespKind::Value { len },
+                                    len as u64,
+                                )
+                            }
+                            KvOp::Get => {
+                                let l = kv
+                                    .index
+                                    .lookup(key)
+                                    .expect("clients only ask a key's home shard");
+                                kv.gets += 1;
+                                kv.observe(key, true, l.probes);
+                                match kv.design {
+                                    Design::OneSidedRnic | Design::OneSidedSnic => {
+                                        // Reply with the home bucket; the
+                                        // client drives the rest of the
+                                        // chain with its own READs.
+                                        kv.probe_trips += 1;
+                                        let pu =
+                                            fabric.server.reserve_pu(win.start, Endpoint::Host);
+                                        let addr = KV_INDEX_BASE
+                                            + (kv.index.home_bucket(key) as u64) * BUCKET_BYTES;
+                                        let leg = fabric.server.dma(
+                                            pipeline_out(&pu),
+                                            Endpoint::Host,
+                                            MemOp::Read,
+                                            addr,
+                                            BUCKET_BYTES,
+                                            true,
+                                        );
+                                        (
+                                            leg.data_ready.max(ready),
+                                            KvRespKind::Chain {
+                                                probes: l.probes,
+                                                value_addr: l.entry.value_addr,
+                                                value_len: l.entry.value_len,
+                                            },
+                                            BUCKET_BYTES,
+                                        )
+                                    }
+                                    Design::SocIndex => {
+                                        // SoC cores walk the index; the
+                                        // lookup serializes on the home
+                                        // bucket's (weak) SoC DRAM bank,
+                                        // then path 3 pulls the value out
+                                        // of host memory.
+                                        let pu = fabric.server.reserve_pu(win.start, Endpoint::Soc);
+                                        let bank = kv.index.home_bucket(key) % SOC_BANKS;
+                                        let arrival =
+                                            pipeline_out(&pu).max(ready).max(kv.bank_free[bank]);
+                                        let svc = kv.soc_svc + KV_SOC_PROBE * u64::from(l.probes);
+                                        let res = kv.soc_pool.reserve(arrival, svc);
+                                        kv.bank_free[bank] = res.start + SOC_BANK_HOLD;
+                                        let len = l.entry.value_len;
+                                        let fetch = |srv: &mut ServerMachine, t: Nanos| -> Nanos {
+                                            srv.intra_dma(
+                                                t,
+                                                Endpoint::Soc,
+                                                Endpoint::Host,
+                                                Endpoint::Soc,
+                                                l.entry.value_addr,
+                                                l.entry.value_addr,
+                                                len as u64,
+                                            )
+                                            .data_ready
+                                        };
+                                        let done = if stochastic {
+                                            // Path 3 crosses PCIe1 twice;
+                                            // under PCIe TLP corruption
+                                            // every attempt rolls both
+                                            // crossings and a failure
+                                            // burns a full timeout — the
+                                            // double-exposure mechanism.
+                                            let (timeout, retry_cnt) =
+                                                retry.expect("retry armed with stochastic faults");
+                                            let mut t = res.finish;
+                                            let mut attempt: u32 = 0;
+                                            loop {
+                                                let d = fetch(&mut fabric.server, t);
+                                                let failed = fabric
+                                                    .faults()
+                                                    .map(|p| {
+                                                        p.attempt_fails(
+                                                            fault_key(&[
+                                                                *id as u64,
+                                                                from as u64,
+                                                                xid,
+                                                                u64::from(attempt),
+                                                            ]),
+                                                            0,
+                                                            2,
+                                                        )
+                                                    })
+                                                    .unwrap_or(false);
+                                                if !failed {
+                                                    break d;
+                                                }
+                                                kv.path3_retries += 1;
+                                                kv.win_path3_retries += 1;
+                                                if attempt >= retry_cnt {
+                                                    // Budget exhausted:
+                                                    // serve the last leg
+                                                    // anyway (the client
+                                                    // has no KV timeout).
+                                                    counters.retry_exhausted += 1;
+                                                    break d;
+                                                }
+                                                counters.retransmits += 1;
+                                                t += timeout;
+                                                attempt += 1;
+                                            }
+                                        } else {
+                                            fetch(&mut fabric.server, res.finish)
+                                        };
+                                        (done.max(ready), KvRespKind::Value { len }, len as u64)
+                                    }
+                                    Design::HostRpc => {
+                                        let pu =
+                                            fabric.server.reserve_pu(win.start, Endpoint::Host);
+                                        let arrival = pipeline_out(&pu).max(ready);
+                                        let svc = kv.host_svc + KV_HOST_PROBE * u64::from(l.probes);
+                                        let res = kv.host_pool.reserve(arrival, svc);
+                                        let len = l.entry.value_len;
+                                        let leg = fabric.server.dma(
+                                            res.finish,
+                                            Endpoint::Host,
+                                            MemOp::Read,
+                                            l.entry.value_addr,
+                                            len as u64,
+                                            true,
+                                        );
+                                        (
+                                            leg.data_ready.max(ready),
+                                            KvRespKind::Value { len },
+                                            len as u64,
+                                        )
+                                    }
+                                }
+                            }
+                            KvOp::Put => {
+                                // Puts always land on the host: the index
+                                // master and the value region live in host
+                                // memory under every placement.
+                                kv.puts += 1;
+                                kv.observe(key, false, 0);
+                                let pu = fabric.server.reserve_pu(win.start, Endpoint::Host);
+                                let arrival = pipeline_out(&pu).max(ready);
+                                let res = kv.host_pool.reserve(arrival, kv.host_svc + KV_PUT_EXTRA);
+                                // Overwrites reuse the existing slot; only
+                                // a fresh key advances the allocator.
+                                let existing =
+                                    kv.index.lookup(key).ok().map(|l| l.entry.value_addr);
+                                let addr = existing.unwrap_or(KV_VALUES_BASE + kv.next_value);
+                                kv.index
+                                    .insert(key, addr, kv.value_size)
+                                    .expect("put fits the configured index");
+                                if existing.is_none() {
+                                    kv.next_value += kv.value_size as u64;
+                                }
+                                let leg = fabric.server.dma(
+                                    res.finish,
+                                    Endpoint::Host,
+                                    MemOp::Write,
+                                    addr,
+                                    kv.value_size as u64,
+                                    true,
+                                );
+                                (leg.data_ready.max(ready), KvRespKind::PutAck, 0)
+                            }
+                        };
+                        let wout = fabric.server.wire.reserve(
+                            Dir::Rev,
+                            resp_ready,
+                            wire_bytes(resp_bytes),
+                            wire_frames(resp_bytes),
+                        );
+                        outbox.push(NetMsg {
+                            src: *id,
+                            dst: from,
+                            seq: *out_seq,
+                            depart: wout.start,
+                            bytes: resp_bytes,
+                            kind: MsgKind::KvResp {
+                                kind: resp_kind,
+                                stream,
+                                thread,
+                                posted,
+                                xid,
+                            },
+                        });
+                        *out_seq += 1;
+                    }
+                    (
+                        Model::Client { machine, .. },
+                        MsgKind::KvResp {
+                            kind,
+                            stream,
+                            thread,
+                            posted,
+                            xid,
+                        },
+                    ) => {
+                        let si = stream as usize;
+                        let st = streams[si]
+                            .as_ref()
+                            .expect("KV response for a stream not installed on this shard");
+                        match kind {
+                            KvRespKind::Value { .. } | KvRespKind::PutAck => {
+                                // Final trip of the op: complete and
+                                // account against the original post.
+                                kv_pending.remove(&xid);
+                                let completed = machine.complete(now, bytes).max(drained);
+                                let a = &mut aggs[si];
+                                if st.open.is_some() {
+                                    a.total_completed += 1;
+                                    a.outstanding -= 1;
+                                }
+                                if in_window(completed) {
+                                    a.hist.record(completed.saturating_sub(posted));
+                                    a.ops += 1;
+                                    a.bytes += st.payload;
+                                    counters.completed += 1;
+                                }
+                                if st.open.is_none() {
+                                    eng.schedule(completed.max(now), Ev::Post { stream, thread })
+                                        .expect("completion is in the future");
+                                }
+                            }
+                            KvRespKind::Chain {
+                                probes,
+                                value_addr,
+                                value_len,
+                            } => {
+                                // The server answered one-sidedly: the op
+                                // continues as client-driven READs — the
+                                // remaining probe hops, then the value.
+                                let p = kv_pending
+                                    .get_mut(&xid)
+                                    .expect("chain reply for an unknown get");
+                                p.probes = probes;
+                                p.value_addr = value_addr;
+                                p.value_len = value_len;
+                                let op = if probes <= 1 {
+                                    KvOp::ValueRead {
+                                        addr: value_addr,
+                                        len: value_len,
+                                    }
+                                } else {
+                                    p.next_hop = 1;
+                                    KvOp::Probe { hop: 1 }
+                                };
+                                let (server, pkey) = (p.server, p.key);
+                                let done = machine.complete(now, bytes).max(drained);
+                                let nic_seen = done + machine.mmio_transit();
+                                let depart =
+                                    machine.issue_with_wire(nic_seen, KV_REQ_BYTES, KV_REQ_BYTES);
+                                outbox.push(NetMsg {
+                                    src: *id,
+                                    dst: server,
+                                    seq: *out_seq,
+                                    depart,
+                                    bytes: KV_REQ_BYTES,
+                                    kind: MsgKind::KvReq {
+                                        op,
+                                        key: pkey,
+                                        stream,
+                                        thread,
+                                        posted,
+                                        xid,
+                                    },
+                                });
+                                *out_seq += 1;
+                            }
+                            KvRespKind::Bucket => {
+                                let p = kv_pending
+                                    .get_mut(&xid)
+                                    .expect("bucket reply for an unknown chain");
+                                p.next_hop += 1;
+                                let op = if p.next_hop < p.probes {
+                                    KvOp::Probe { hop: p.next_hop }
+                                } else {
+                                    KvOp::ValueRead {
+                                        addr: p.value_addr,
+                                        len: p.value_len,
+                                    }
+                                };
+                                let (server, pkey) = (p.server, p.key);
+                                let done = machine.complete(now, bytes).max(drained);
+                                let nic_seen = done + machine.mmio_transit();
+                                let depart =
+                                    machine.issue_with_wire(nic_seen, KV_REQ_BYTES, KV_REQ_BYTES);
+                                outbox.push(NetMsg {
+                                    src: *id,
+                                    dst: server,
+                                    seq: *out_seq,
+                                    depart,
+                                    bytes: KV_REQ_BYTES,
+                                    kind: MsgKind::KvReq {
+                                        op,
+                                        key: pkey,
+                                        stream,
+                                        thread,
+                                        posted,
+                                        xid,
+                                    },
+                                });
+                                *out_seq += 1;
+                            }
+                        }
+                    }
+                    (
                         Model::Client { machine, .. },
                         MsgKind::Response {
                             stream,
@@ -902,6 +1441,36 @@ impl Shard {
                         },
                     )
                     .expect("timeout is in the future");
+                }
+                Ev::KvEpoch => {
+                    // Online advisor: close the observation window,
+                    // re-decide the placement, arm the next epoch. This
+                    // reads and writes only shard-local state at a fixed
+                    // simulated instant, so re-decisions are identical
+                    // for any worker count.
+                    let kv = kv_server
+                        .as_mut()
+                        .expect("KV epochs only fire on KV server shards");
+                    let Model::Server { fabric, .. } = &mut *model else {
+                        unreachable!("KV epochs only arm on server shards")
+                    };
+                    let pcie_faulty = fabric
+                        .faults()
+                        .map(|p| {
+                            let (slowdown, extra) = p.pcie_degradation(now);
+                            p.has_stochastic_faults() || slowdown > 1.0 || extra > Nanos::ZERO
+                        })
+                        .unwrap_or(false);
+                    let obs = kv.take_window(now, pcie_faulty);
+                    let policy = kv.policy.expect("epoch chain armed without a policy");
+                    let next = policy(&obs);
+                    kv.decisions += 1;
+                    if next != kv.design {
+                        kv.design_changes += 1;
+                        kv.design = next;
+                    }
+                    eng.schedule(now + kv.decision_every, Ev::KvEpoch)
+                        .expect("next epoch is in the future");
                 }
             }
             Step::Continue

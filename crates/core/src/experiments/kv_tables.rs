@@ -1,0 +1,106 @@
+//! Figure 1 and YCSB comparison tables over the standalone KV store.
+//!
+//! These builders used to live in `snic-kvstore`; they moved here so
+//! the store crate stays free of report dependencies (the cluster
+//! runtime embeds it). The measurements themselves —
+//! [`snic_kvstore::run_gets`] and [`snic_kvstore::run_mix`] — are
+//! unchanged.
+
+use snic_kvstore::{run_gets, run_mix, Design, KeyDist, KvConfig, Mix};
+
+use crate::report::{fmt_f, Table};
+
+/// Regenerates the Figure 1 comparison table.
+pub fn fig1_table(quick: bool) -> Table {
+    let cfg = if quick {
+        KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            ..KvConfig::default()
+        }
+    } else {
+        KvConfig {
+            n_keys: 200_000,
+            index_buckets: 64 << 10,
+            ..KvConfig::default()
+        }
+    };
+    let ops = if quick { 400 } else { 5000 };
+    let mut t = Table::new(
+        "Fig 1: KV get designs (loaded index, uniform keys)",
+        &[
+            "design",
+            "mean latency [us]",
+            "p99 [us]",
+            "net round trips",
+            "gets/s (1 client)",
+        ],
+    );
+    for d in Design::ALL {
+        let s = run_gets(d, cfg, ops, KeyDist::Uniform, 7);
+        t.push(vec![
+            d.label().to_string(),
+            fmt_f(s.mean_latency.as_micros_f64()),
+            fmt_f(s.p99_latency.as_micros_f64()),
+            fmt_f(s.mean_trips),
+            fmt_f(s.gets_per_sec),
+        ]);
+    }
+    t
+}
+
+/// Renders the full design x mix comparison.
+pub fn ycsb_table(quick: bool, dist: KeyDist) -> Table {
+    let cfg = if quick {
+        KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            ..KvConfig::default()
+        }
+    } else {
+        KvConfig {
+            n_keys: 100_000,
+            index_buckets: 32 << 10,
+            ..KvConfig::default()
+        }
+    };
+    let n_ops = if quick { 300 } else { 3000 };
+    let dist_label = match dist {
+        KeyDist::Uniform => "uniform".to_string(),
+        KeyDist::Zipf(t) => format!("zipf({t})"),
+    };
+    let mut t = Table::new(
+        format!("YCSB mixes over KV designs ({dist_label} keys)"),
+        &["design", "mix", "ops/s", "mean [us]", "p99 [us]"],
+    );
+    for d in Design::ALL {
+        for m in Mix::ALL {
+            let s = run_mix(d, cfg, m, n_ops, dist, 11);
+            t.push(vec![
+                d.label().to_string(),
+                m.label().to_string(),
+                fmt_f(s.ops_per_sec),
+                fmt_f(s.mean_latency.as_micros_f64()),
+                fmt_f(s.p99_latency.as_micros_f64()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_table_has_all_designs() {
+        let t = fig1_table(true);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn table_covers_design_mix_matrix() {
+        let t = ycsb_table(true, KeyDist::Uniform);
+        assert_eq!(t.rows.len(), 4 * 3);
+    }
+}

@@ -18,6 +18,8 @@ pub mod fig7_skew;
 pub mod fig8_large_read;
 pub mod fig9_path3;
 pub mod incast;
+pub mod kv_cluster;
+pub mod kv_tables;
 pub mod motivation;
 pub mod openloop;
 pub mod table3_packets;

@@ -23,7 +23,7 @@ pub mod harness;
 pub mod model;
 pub mod report;
 
-pub use advisor::{Finding, OffloadAdvisor, Severity, WorkloadDesc};
+pub use advisor::{Finding, OffloadAdvisor, OnlineAdvisor, Severity, WorkloadDesc};
 pub use harness::{
     measure_breakdown, measure_latency, measure_throughput, run_open_loop, run_scenario,
     MeasuredBreakdown, OpenLoopResult, OpenStreamResult, OpenStreamSpec, Scenario, ScenarioResult,

@@ -27,7 +27,34 @@ pub struct Entry {
 
 #[derive(Debug, Clone, Default)]
 struct Bucket {
-    slots: Vec<Entry>, // <= SLOTS_PER_BUCKET
+    slots: Vec<Entry>, // live entries; slots.len() + tombstones <= SLOTS_PER_BUCKET
+    /// Slots holding a removal marker. A tombstone keeps the bucket's
+    /// occupancy up so probe chains that ran through it while it was
+    /// full stay reachable; inserts reclaim tombstoned slots first.
+    tombstones: u32,
+}
+
+impl Bucket {
+    /// Physical occupancy: live entries plus tombstones. The probe
+    /// chain terminates only at a bucket whose occupancy is below
+    /// [`SLOTS_PER_BUCKET`] — i.e. one that has *never* been full —
+    /// because occupancy never decreases.
+    fn occupancy(&self) -> usize {
+        self.slots.len() + self.tombstones as usize
+    }
+
+    /// Whether a new entry fits (a free or tombstoned slot exists).
+    fn has_room(&self) -> bool {
+        self.slots.len() < SLOTS_PER_BUCKET
+    }
+
+    /// Places an entry, reclaiming a tombstoned slot when one exists so
+    /// occupancy (and thus chain shape) only ever grows.
+    fn place(&mut self, e: Entry) {
+        debug_assert!(self.has_room());
+        self.tombstones = self.tombstones.saturating_sub(1);
+        self.slots.push(e);
+    }
 }
 
 /// Outcome of a lookup.
@@ -132,15 +159,34 @@ impl HashIndex {
         self.base_addr + i as u64 * BUCKET_BYTES
     }
 
+    /// Number of buckets in the table.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket a key's probe chain starts at. Remote readers compute
+    /// this themselves: probe `i` of a lookup READs bucket
+    /// `(home_bucket + i) % n_buckets`.
+    pub fn home_bucket(&self, key: u64) -> usize {
+        self.hash(key)
+    }
+
     /// Total registered bytes of the bucket array.
     pub fn region_len(&self) -> u64 {
         self.buckets.len() as u64 * BUCKET_BYTES
     }
 
     /// Inserts or updates a key.
+    ///
+    /// The walk must keep scanning past buckets that merely have a
+    /// tombstoned slot (the key may live further down the chain); only
+    /// a bucket that has never been full proves absence. The first slot
+    /// with room seen along the way is remembered so reinsertions
+    /// reclaim tombstones instead of lengthening chains.
     pub fn insert(&mut self, key: u64, value_addr: u64, value_len: u32) -> Result<(), IndexError> {
         let start = self.hash(key);
         let n = self.buckets.len();
+        let mut first_open: Option<usize> = None;
         for hop in 0..self.max_probes as usize {
             let bi = (start + hop) % n;
             let bucket = &mut self.buckets[bi];
@@ -149,17 +195,24 @@ impl HashIndex {
                 slot.value_len = value_len;
                 return Ok(());
             }
-            if bucket.slots.len() < SLOTS_PER_BUCKET {
-                bucket.slots.push(Entry {
-                    key,
-                    value_addr,
-                    value_len,
-                });
-                self.entries += 1;
-                return Ok(());
+            if first_open.is_none() && bucket.has_room() {
+                first_open = Some(bi);
+            }
+            if bucket.occupancy() < SLOTS_PER_BUCKET {
+                // Chain ends here: the key is absent everywhere.
+                break;
             }
         }
-        Err(IndexError::Full)
+        let Some(bi) = first_open else {
+            return Err(IndexError::Full);
+        };
+        self.buckets[bi].place(Entry {
+            key,
+            value_addr,
+            value_len,
+        });
+        self.entries += 1;
+        Ok(())
     }
 
     /// Looks up a key, reporting how many bucket probes a remote reader
@@ -176,8 +229,9 @@ impl HashIndex {
                     probes: hop as u32 + 1,
                 });
             }
-            if bucket.slots.len() < SLOTS_PER_BUCKET {
-                // An unfull bucket terminates the probe chain.
+            if bucket.occupancy() < SLOTS_PER_BUCKET {
+                // A never-full bucket terminates the probe chain
+                // (tombstones count: a once-full bucket stays opaque).
                 return Err(IndexError::NotFound);
             }
         }
@@ -186,10 +240,12 @@ impl HashIndex {
 
     /// Removes a key. Returns the removed entry.
     ///
-    /// Removal leaves a tombstone-free table by back-shifting within the
-    /// bucket only; probe chains through full buckets remain valid
-    /// because lookups scan `max_probes` hops before giving up if every
-    /// visited bucket stays full.
+    /// The freed slot becomes a tombstone rather than vanishing: a
+    /// plain `Vec::remove` would turn a full bucket non-full, and
+    /// `lookup`'s "never-full bucket terminates the chain" rule would
+    /// then lose every key that probed past this bucket while it was
+    /// full. Tombstones keep occupancy (and thus chain shape) intact;
+    /// later inserts reclaim them.
     pub fn remove(&mut self, key: u64) -> Result<Entry, IndexError> {
         let start = self.hash(key);
         let n = self.buckets.len();
@@ -198,8 +254,13 @@ impl HashIndex {
             let bucket = &mut self.buckets[bi];
             if let Some(pos) = bucket.slots.iter().position(|e| e.key == key) {
                 let e = bucket.slots.remove(pos);
+                bucket.tombstones += 1;
                 self.entries -= 1;
                 return Ok(e);
+            }
+            if bucket.occupancy() < SLOTS_PER_BUCKET {
+                // Chain ends here: the key is absent everywhere.
+                break;
             }
         }
         Err(IndexError::NotFound)
@@ -301,6 +362,112 @@ mod tests {
             assert_eq!(idx.bucket_addr(i) % 64, 0);
         }
         assert_eq!(idx.region_len(), 16 * 64);
+    }
+
+    /// Regression: removing a key from a full bucket must not make keys
+    /// that overflowed past that bucket unreachable. The pre-fix
+    /// `remove` back-shifted the slot vector, turning the full bucket
+    /// non-full, so `lookup` stopped there and lost the overflow key.
+    #[test]
+    fn remove_preserves_probe_chains_through_full_buckets() {
+        let mut idx = HashIndex::new(2, 0);
+        // Five keys homed on bucket 0: four fill it, the fifth
+        // overflows into bucket 1.
+        let homed: Vec<u64> = (0..10_000u64)
+            .filter(|&k| idx.home_bucket(k) == 0)
+            .take(SLOTS_PER_BUCKET + 1)
+            .collect();
+        assert_eq!(homed.len(), SLOTS_PER_BUCKET + 1);
+        for &k in &homed {
+            idx.insert(k, k, 8).unwrap();
+        }
+        let overflow = *homed.last().unwrap();
+        assert!(idx.lookup(overflow).unwrap().probes > 1);
+        // Remove one of the keys that sits in the (full) home bucket.
+        idx.remove(homed[0]).unwrap();
+        // The overflow key must still be reachable...
+        let l = idx
+            .lookup(overflow)
+            .expect("overflow key lost after removal from its full home bucket");
+        assert_eq!(l.entry.value_addr, overflow);
+        // ...and removable, through the same preserved chain.
+        idx.remove(overflow).unwrap();
+        assert_eq!(idx.lookup(overflow), Err(IndexError::NotFound));
+    }
+
+    /// Tombstoned slots are reclaimed by later inserts instead of
+    /// leaking capacity: a table filled, emptied, and refilled accepts
+    /// the same number of keys.
+    #[test]
+    fn tombstones_are_reclaimed_by_inserts() {
+        let mut idx = HashIndex::new(2, 0);
+        let keys: Vec<u64> = (0..10_000u64)
+            .filter(|&k| idx.home_bucket(k) == 0)
+            .take(2 * SLOTS_PER_BUCKET)
+            .collect();
+        for &k in &keys {
+            idx.insert(k, k, 8).unwrap();
+        }
+        for &k in &keys {
+            idx.remove(k).unwrap();
+        }
+        assert!(idx.is_empty());
+        for &k in &keys {
+            idx.insert(k, k + 1, 8).unwrap();
+        }
+        for &k in &keys {
+            assert_eq!(idx.lookup(k).unwrap().entry.value_addr, k + 1);
+        }
+    }
+
+    /// Fuzz insert/remove/lookup round-trips against a `HashMap`
+    /// oracle: every present key is found with its latest value, every
+    /// absent key misses, and `len` tracks the oracle exactly.
+    #[test]
+    fn index_matches_hashmap_oracle() {
+        use simnet::prop::check;
+        use simnet::{prop_assert, prop_assert_eq};
+        use std::collections::HashMap;
+
+        check("index_matches_hashmap_oracle", |g| {
+            let n_buckets = g.usize(1..48);
+            let key_space = g.u64(1..64);
+            let ops = g.vec(1..256, |g| (g.u64(0..3), g.u64(0..64), g.u64(1..1_000_000)));
+            let mut idx = HashIndex::new(n_buckets, 0x4000);
+            let mut oracle: HashMap<u64, u64> = HashMap::new();
+            for &(op, key_raw, val) in &ops {
+                let key = key_raw % key_space;
+                match op {
+                    0 | 1 => match idx.insert(key, val, 8) {
+                        Ok(()) => {
+                            oracle.insert(key, val);
+                        }
+                        Err(IndexError::Full) => {
+                            // Rejected inserts must not mutate state.
+                            prop_assert!(!oracle.contains_key(&key));
+                        }
+                        Err(e) => panic!("unexpected insert error {e}"),
+                    },
+                    _ => {
+                        let got = idx.remove(key).ok().map(|e| e.value_addr);
+                        prop_assert_eq!(got, oracle.remove(&key));
+                    }
+                }
+                prop_assert_eq!(idx.len(), oracle.len() as u64);
+                for (&k, &v) in &oracle {
+                    let l = idx.lookup(k);
+                    prop_assert!(l.is_ok());
+                    prop_assert_eq!(l.unwrap().entry.value_addr, v);
+                }
+            }
+            // Keys absent from the oracle must miss.
+            for k in 0..key_space {
+                if !oracle.contains_key(&k) {
+                    prop_assert_eq!(idx.lookup(k).err(), Some(IndexError::NotFound));
+                }
+            }
+            Ok(())
+        });
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod store;
 pub mod workload;
 pub mod ycsb;
 
-pub use index::{Entry, HashIndex, IndexError, Lookup};
+pub use index::{Entry, HashIndex, IndexError, Lookup, BUCKET_BYTES};
 pub use store::{Design, GetResult, KvConfig, KvError, KvStore};
-pub use workload::{fig1_table, run_gets, KeyDist, KvRunStats};
-pub use ycsb::{run_mix, ycsb_table, Mix, YcsbStats};
+pub use workload::{run_gets, KeyDist, KvRunStats};
+pub use ycsb::{run_mix, Mix, YcsbStats};

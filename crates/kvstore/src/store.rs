@@ -227,12 +227,38 @@ impl KvStore {
         Ok(())
     }
 
+    /// Bytes bump-allocated from the value region so far. Grows only
+    /// when a *fresh* key is loaded or put; overwrites reuse the
+    /// existing slot.
+    pub fn value_bytes_used(&self) -> u64 {
+        self.next_value
+    }
+
+    /// MR offsets of the bucket READs a one-sided reader posts for
+    /// `key`: the probe chain starts at the key's home bucket and
+    /// advances one bucket per hop, wrapping at the table end.
+    pub fn probe_offsets(&self, key: u64) -> Result<Vec<u64>, KvError> {
+        let lookup = self.index.lookup(key)?;
+        let start = self.index.home_bucket(key) as u64;
+        let n = self.index.n_buckets() as u64;
+        Ok((0..lookup.probes as u64)
+            .map(|hop| ((start + hop) % n) * BUCKET_BYTES)
+            .collect())
+    }
+
     /// Inserts or updates a key at simulated time `now` (write path:
     /// always an RPC to the host, which owns the value region).
     pub fn put(&mut self, now: Nanos, key: u64) -> Result<GetResult, KvError> {
-        let addr = VALUES_BASE + self.next_value;
-        self.next_value += self.value_size as u64;
+        // Overwrites keep the key's existing value slot; only a fresh
+        // key bump-allocates. Allocating on every update would leak the
+        // old slot and let `next_value` walk off the registered MR over
+        // a long update run.
+        let existing = self.index.lookup(key).ok().map(|l| l.entry.value_addr);
+        let addr = existing.unwrap_or(VALUES_BASE + self.next_value);
         self.index.insert(key, addr, self.value_size)?;
+        if existing.is_none() {
+            self.next_value += self.value_size as u64;
+        }
         let op = RpcOp {
             path: match self.design {
                 Design::OneSidedRnic => PathKind::Rnic1,
@@ -267,13 +293,11 @@ impl KvStore {
     fn get_one_sided(&mut self, now: Nanos, key: u64) -> Result<GetResult, KvError> {
         let lookup = self.index.lookup(key)?;
         let mut t = now;
-        // One READ per index probe (each must complete before the client
-        // knows where to look next).
-        let start_bucket = lookup.probes as u64 - 1; // offset of final probe
-        let _ = start_bucket;
-        for p in 0..lookup.probes {
-            self.qp
-                .post_read(t, &self.index_mr, p as u64 * BUCKET_BYTES, BUCKET_BYTES)?;
+        // One READ per index probe, at the chain's real bucket offsets
+        // (each must complete before the client knows where to look
+        // next).
+        for off in self.probe_offsets(key)? {
+            self.qp.post_read(t, &self.index_mr, off, BUCKET_BYTES)?;
             t = self.drain_one();
         }
         // Value READ at the address the index returned.
@@ -436,6 +460,69 @@ mod tests {
         kv.put(Nanos::ZERO, 1_000_000).unwrap();
         let r = kv.get(Nanos::from_micros(100), 1_000_000).unwrap();
         assert_eq!(r.value_len, 256);
+    }
+
+    /// Regression: updating one key 10k times must not move the value
+    /// allocator. The pre-fix `put` bump-allocated a fresh slot per
+    /// update, so `next_value` grew without bound and long YCSB update
+    /// runs walked off the registered value MR.
+    #[test]
+    fn put_overwrite_pins_value_allocator() {
+        let mut kv = KvStore::new(Design::HostRpc, small_cfg());
+        let before = kv.value_bytes_used();
+        assert_eq!(before, 2000 * 256);
+        for i in 0..10_000u64 {
+            kv.put(Nanos::from_micros(i * 2), 7).unwrap();
+        }
+        assert_eq!(
+            kv.value_bytes_used(),
+            before,
+            "10k overwrites of one key must not allocate value slots"
+        );
+        assert_eq!(kv.len(), 2000);
+        // A genuinely fresh key still allocates exactly one slot.
+        kv.put(Nanos::from_micros(30_000), 1_000_000).unwrap();
+        assert_eq!(kv.value_bytes_used(), before + 256);
+    }
+
+    /// Regression: probe READs must walk the key's real chain — home
+    /// bucket, then `(home + hop) % n` — not offsets `0, 64, 128, ...`
+    /// from the start of the region as the pre-fix code posted.
+    #[test]
+    fn one_sided_probes_walk_the_real_chain() {
+        let cfg = KvConfig {
+            n_keys: 3500,
+            index_buckets: 1024,
+            ..small_cfg()
+        };
+        let kv = KvStore::new(Design::OneSidedSnic, cfg);
+        let mut multi_probe_seen = 0u32;
+        for k in 0..3500u64 {
+            let offs = kv.probe_offsets(k).unwrap();
+            let home = kv.index.home_bucket(k) as u64;
+            let n = kv.index.n_buckets() as u64;
+            for (hop, &off) in offs.iter().enumerate() {
+                assert_eq!(
+                    off,
+                    ((home + hop as u64) % n) * BUCKET_BYTES,
+                    "key {k} hop {hop}"
+                );
+                assert!(off + BUCKET_BYTES <= kv.index.region_len());
+            }
+            if offs.len() >= 2 {
+                multi_probe_seen += 1;
+                // A multi-probe chain homed off bucket 0 distinguishes
+                // the real chain from the pre-fix offsets.
+                let naive: Vec<u64> = (0..offs.len() as u64).map(|p| p * BUCKET_BYTES).collect();
+                if home != 0 {
+                    assert_ne!(offs, naive, "key {k}");
+                }
+            }
+        }
+        assert!(
+            multi_probe_seen > 0,
+            "workload must exercise multi-probe chains"
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! Run with `cargo run --release --example ycsb_mixes`.
 
-use offpath_smartnic::kvstore::{ycsb_table, KeyDist};
+use offpath_smartnic::kvstore::KeyDist;
+use offpath_smartnic::study::experiments::kv_tables::ycsb_table;
 
 fn main() {
     println!("{}", ycsb_table(true, KeyDist::Uniform).to_text());

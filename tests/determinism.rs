@@ -419,6 +419,68 @@ fn cluster_worker_count_invariance_openloop() {
 }
 
 #[test]
+fn cluster_worker_count_invariance_kv() {
+    // The KV service must preserve the invariance with the *online
+    // advisor* live: per-server placement re-decisions happen at fixed
+    // epoch instants from shard-local window state, multi-trip probe
+    // chains ride the deterministic message plane, and Zipf key draws
+    // come from per-shard forked RNGs. Load the service hard enough
+    // (with skew) that the advisor demonstrably re-places the index,
+    // then demand byte-identical artifacts at 1, 2 and 8 workers.
+    use offpath_smartnic::cluster::{
+        advisor_policy, run_cluster, ClusterScenario, ClusterStream, KvPlacement, KvStreamSpec,
+    };
+    use offpath_smartnic::kvstore::{KeyDist, Mix};
+    use offpath_smartnic::simnet::arrivals::OpenLoopSpec;
+
+    let run = |workers: usize| {
+        let mut sc = ClusterScenario::quick().with_workers(workers).with_seed(17);
+        sc.cluster.clients.truncate(6);
+        let spec = KvStreamSpec::new(
+            Mix::B,
+            KeyDist::Zipf(0.99),
+            KvPlacement::Online(advisor_policy),
+        );
+        let stream = ClusterStream::kv_service(spec, (0..6).collect())
+            .open_loop(OpenLoopSpec::poisson(16.0e6));
+        run_cluster(&sc, &[stream])
+    };
+    let a = run(1);
+    let b = run(2);
+    let c = run(8);
+    let count = |r: &offpath_smartnic::cluster::ClusterResult, name: &str| {
+        r.metrics
+            .counters()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    };
+    // Non-trivial: the service served both op kinds and the online
+    // advisor actually moved the index at least once somewhere.
+    assert!(count(&a, "kv_gets") > 1000, "{}", count(&a, "kv_gets"));
+    assert!(count(&a, "kv_puts") > 0);
+    assert!(count(&a, "kv_decisions") > 0);
+    assert!(
+        count(&a, "kv_design_changes") > 0,
+        "load never forced a re-placement; the test proves nothing"
+    );
+    for (other, n) in [(&b, 2), (&c, 8)] {
+        assert_eq!(
+            a.to_csv().as_bytes(),
+            other.to_csv().as_bytes(),
+            "KV CSV diverged between 1 and {n} workers:\n{}\nvs\n{}",
+            a.to_csv(),
+            other.to_csv()
+        );
+        assert_eq!(a.epochs, other.epochs, "epoch schedule diverged");
+        assert_eq!(a.messages, other.messages, "message count diverged");
+        let ca: Vec<(&str, u64)> = a.metrics.counters().collect();
+        let co: Vec<(&str, u64)> = other.metrics.counters().collect();
+        assert_eq!(ca, co, "metrics registry diverged at {n} workers");
+    }
+}
+
+#[test]
 fn kvstore_deterministic() {
     use offpath_smartnic::kvstore::{run_gets, Design, KeyDist, KvConfig};
     let cfg = KvConfig {

@@ -2,8 +2,9 @@
 //!
 //! Runs the perf-trajectory suite (single-machine Fig-4 sweep, the
 //! cluster Fig-5 combination at 1/2/8 workers, the incast fan-in, a
-//! faulty cluster run, an open-loop arrival-driven run, and the KV
-//! service under the online advisor), printing
+//! faulty cluster run, an open-loop arrival-driven run, the KV
+//! service under the online advisor, and the far-memory tier over the
+//! remote SoC pool), printing
 //! events/sec per scenario and emitting a
 //! machine-readable `BENCH_<date>.json` snapshot in the current
 //! directory. Committed snapshots in the repo root form the trajectory
@@ -33,6 +34,7 @@ use snic_cluster::{
     advisor_policy, run_cluster, ClusterScenario, ClusterStream, KvPlacement, KvStreamSpec,
 };
 use snic_core::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
+use snic_farmem::{FmPlacement, FmStreamSpec};
 use snic_kvstore::{KeyDist, Mix};
 
 /// Default timed iterations per macro bench (override: `BENCH_SAMPLES`).
@@ -148,6 +150,18 @@ fn kv_cluster() -> u64 {
     run_cluster(&sc, &[stream]).events
 }
 
+/// The far-memory tier over the remote pool: an open-loop page-access
+/// stream whose misses promote pages over path ② and whose demotions
+/// write back in the background, exercising the residency table, the
+/// SoC page caches and the FmGet/FmPut/FmResp plumbing.
+fn farmem() -> u64 {
+    let sc = bench_cluster(2);
+    let stream =
+        ClusterStream::fm_service(FmStreamSpec::new(FmPlacement::RemoteSoc), (0..6).collect())
+            .open_loop(OpenLoopSpec::poisson(2.0e6));
+    run_cluster(&sc, &[stream]).events
+}
+
 fn usage() -> ! {
     eprintln!(
         "perf: macro benchmarks tracking simulator events/sec\n\
@@ -200,6 +214,7 @@ fn main() {
         ("faults", faults),
         ("openloop", openloop),
         ("kv_cluster", kv_cluster),
+        ("farmem", farmem),
     ];
 
     let mut measurements: Vec<Measurement> = Vec::new();

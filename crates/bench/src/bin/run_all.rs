@@ -36,6 +36,7 @@ fn main() {
         ("15_faults", e::faults::run),
         ("16_openloop", e::openloop::run),
         ("17_kv_cluster", e::kv_cluster::run),
+        ("18_farmem", e::farmem::run),
     ];
     let jobs: Vec<Job> = match &opts.only {
         Some(prefix) => {

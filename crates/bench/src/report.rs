@@ -26,6 +26,7 @@ pub const EXPECTED_BENCHES: &[&str] = &[
     "faults",
     "openloop",
     "kv_cluster",
+    "farmem",
 ];
 
 /// One benchmark's record in the snapshot.

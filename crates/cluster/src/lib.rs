@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fm;
 pub mod kv;
 pub mod msg;
 mod runtime;
@@ -26,7 +27,7 @@ mod shard;
 pub mod switch;
 
 pub use kv::{advisor_policy, kv_home_server, KvPlacement, KvPolicy, KvStreamSpec, KvWindowObs};
-pub use msg::{KvOp, KvRespKind, MsgKind, NetMsg, ShardId};
+pub use msg::{FmRespKind, KvOp, KvRespKind, MsgKind, NetMsg, ShardId};
 pub use scenario::{
     run_cluster, ClusterResult, ClusterScenario, ClusterStream, ClusterStreamResult,
 };

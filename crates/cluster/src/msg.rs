@@ -90,6 +90,53 @@ pub enum MsgKind {
         /// Transaction id echoed from the request.
         xid: u64,
     },
+    /// A far-memory page fetch: a host missed on `page` and asks the
+    /// pool server holding it to stream the page back (path ②).
+    FmGet {
+        /// Global page id (owner shard in the high bits).
+        page: u64,
+        /// Whether the triggering access was a store — echoed back so
+        /// the host installs the promoted page already dirty.
+        write: bool,
+        /// Global stream index of the far-memory stream.
+        stream: u16,
+        /// Thread index within the issuing shard's stream.
+        thread: u16,
+        /// Intended arrival (open) / post instant (closed) of the
+        /// access, echoed back so latency spans the whole promotion.
+        posted: Nanos,
+        /// Client-side transaction id (fault-verdict salt).
+        xid: u64,
+    },
+    /// A far-memory demotion: the page payload travels to the pool
+    /// server's SoC cache (write-back of a dirty resident page).
+    FmPut {
+        /// Global page id.
+        page: u64,
+        /// Version stamp the pool must observe on later gets.
+        stamp: u64,
+        /// Global stream index of the far-memory stream.
+        stream: u16,
+        /// Thread index within the issuing shard's stream.
+        thread: u16,
+        /// Demotion instant (no latency is recorded against it).
+        posted: Nanos,
+        /// Client-side transaction id.
+        xid: u64,
+    },
+    /// A far-memory reply from a pool server.
+    FmResp {
+        /// What came back.
+        kind: FmRespKind,
+        /// Global stream index of the far-memory stream.
+        stream: u16,
+        /// Thread index within the destination shard's stream.
+        thread: u16,
+        /// Original access post instant, echoed back.
+        posted: Nanos,
+        /// Transaction id echoed from the request.
+        xid: u64,
+    },
 }
 
 /// A KV request's operation.
@@ -138,6 +185,22 @@ pub enum KvRespKind {
     },
     /// A follow-up probe READ's bucket data.
     Bucket,
+}
+
+/// A far-memory response's payload description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmRespKind {
+    /// The page payload answering a get (promotion completes; the
+    /// requester installs it into its residency table).
+    Page {
+        /// Global page id, echoed so no client-side pending map is
+        /// needed to match the promotion.
+        page: u64,
+        /// Write intent of the triggering access, echoed back.
+        write: bool,
+    },
+    /// Header-only demotion acknowledgement.
+    PutAck,
 }
 
 /// One message in flight between two shards.

@@ -17,18 +17,20 @@ use nicsim::{ClientMachine, Endpoint, Fabric, PathKind, RequestDesc, ServerMachi
 use rdma_sim::transport::{RecvQueue, SendFlags, SignalTracker};
 use simnet::arrivals::{user_home_addr, Admission, AdmissionQueue, ArrivalGen, OpenLoopSpec};
 use simnet::engine::{Engine, Step};
-use simnet::faults::{fault_key, FaultSpec};
+use simnet::faults::{drive_attempts, fault_key, FaultSpec};
 use simnet::resource::{Dir, MultiServer};
 use simnet::rng::{SimRng, Zipf};
 use simnet::stats::Histogram;
 use simnet::time::Nanos;
+use snic_farmem::{FmStreamSpec, FM_HOST_HIT, FM_REQ_BYTES};
 use snic_kvstore::{Design, BUCKET_BYTES};
 
+use crate::fm::{fm_global_page, fm_local_page, FmHost, FmServer};
 use crate::kv::{
     kv_home_server, KvPending, KvServer, KvStreamSpec, KV_HOST_PROBE, KV_INDEX_BASE, KV_PUT_EXTRA,
     KV_REQ_BYTES, KV_SOC_PROBE, KV_VALUES_BASE, SOC_BANKS, SOC_BANK_HOLD,
 };
-use crate::msg::{KvOp, KvRespKind, MsgKind, NetMsg, ShardId};
+use crate::msg::{FmRespKind, KvOp, KvRespKind, MsgKind, NetMsg, ShardId};
 use crate::scenario::ClusterStream;
 
 /// Receive-queue depth used by the responder's echo loop (the paper's
@@ -170,6 +172,7 @@ struct LocalStream {
     threads: Vec<LocalThread>,
     open: Option<OpenLocal>,
     kv: Option<KvClient>,
+    fm: Option<FmHost>,
 }
 
 enum Model {
@@ -209,6 +212,9 @@ pub(crate) struct Shard {
     /// Client shards only: in-flight KV gets, keyed by xid (the key is
     /// needed when a one-sided chain reply asks for follow-up probes).
     kv_pending: HashMap<u64, KvPending>,
+    /// Server shards only: far-memory pool state (SoC page cache +
+    /// serving cores).
+    fm_server: Option<FmServer>,
 }
 
 impl Shard {
@@ -247,6 +253,7 @@ impl Shard {
             next_xid: 0,
             kv_server: None,
             kv_pending: HashMap::new(),
+            fm_server: None,
         }
     }
 
@@ -390,6 +397,7 @@ impl Shard {
             threads,
             open,
             kv: None,
+            fm: None,
         });
     }
 
@@ -421,6 +429,49 @@ impl Shard {
             n_clients,
             n_servers,
         });
+    }
+
+    /// Marks an installed stream as a far-memory host slice: its posts
+    /// become page accesses against this host's residency table; misses
+    /// promote from (and demotions write back to) the SoC DRAM pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not installed on this shard.
+    pub(crate) fn install_fm_client(
+        &mut self,
+        idx: usize,
+        spec: &FmStreamSpec,
+        n_clients: usize,
+        n_servers: usize,
+        rng: &mut SimRng,
+    ) {
+        let st = self.streams[idx]
+            .as_mut()
+            .expect("far-memory host slice requires the stream to be installed first");
+        st.fm = Some(FmHost::new(
+            *spec,
+            rng.fork(((idx as u64) << 32) | 0xFA12),
+            n_clients,
+            n_servers,
+        ));
+    }
+
+    /// Installs the far-memory pool state on this (server) shard.
+    pub(crate) fn install_fm_server(&mut self, fm: FmServer) {
+        self.fm_server = Some(fm);
+    }
+
+    /// The shard's far-memory pool state, if any.
+    pub(crate) fn fm(&self) -> Option<&FmServer> {
+        self.fm_server.as_ref()
+    }
+
+    /// Every far-memory host slice installed on this shard.
+    pub(crate) fn fm_clients(&self) -> impl Iterator<Item = &FmHost> + '_ {
+        self.streams
+            .iter()
+            .filter_map(|s| s.as_ref().and_then(|st| st.fm.as_ref()))
     }
 
     /// Installs the KV serving state on this (server) shard and, for
@@ -515,6 +566,7 @@ impl Shard {
             next_xid,
             kv_server,
             kv_pending,
+            fm_server,
         } = self;
         let in_window = |t: Nanos| t > *measure_from && t <= *measure_to;
         engine.run_until(deadline, |eng, now, ev| {
@@ -613,6 +665,252 @@ impl Shard {
                             },
                         });
                         *out_seq += 1;
+                        return Step::Continue;
+                    }
+                    if st.fm.is_some() {
+                        // Far-memory stream: this post is one page
+                        // access. The residency check happens here;
+                        // hits retire synchronously at host-DRAM cost,
+                        // misses promote the page from the SoC pool,
+                        // and idle resident pages age out (dirty ones
+                        // write back).
+                        let (issue_start, is_open) = if let Some(open) = st.open.as_mut() {
+                            let next = open.gen.next_arrival();
+                            open.next_user = next.user;
+                            eng.schedule(next.at, Ev::Post { stream, thread: 0 })
+                                .expect("arrival chain advances strictly");
+                            let issue = open.posters.reserve(now, st.cpu_cost);
+                            (issue.start, true)
+                        } else {
+                            let th = &mut st.threads[thread as usize];
+                            if th.cpu_free > now {
+                                counters.deferred += 1;
+                                eng.schedule(th.cpu_free, ev)
+                                    .expect("deferred post is in the future");
+                                return Step::Continue;
+                            }
+                            th.cpu_free = now + st.cpu_cost;
+                            if th.signal.on_post(SendFlags::unsignaled()) {
+                                counters.forced_signals += 1;
+                            }
+                            (now, false)
+                        };
+                        let payload = st.payload;
+                        let LocalStream { fm, .. } = st;
+                        let fmc = fm.as_mut().expect("checked above");
+                        let access = fmc.gen.next_access();
+                        let hit = fmc.table.touch(issue_start, access.page, access.write);
+                        let page_bytes = fmc.spec.page_bytes;
+                        counters.posted += 1;
+                        let agg = &mut aggs[si];
+                        if is_open {
+                            agg.generated += 1;
+                            agg.excess_ns += issue_start.saturating_sub(now).as_nanos();
+                        }
+                        match &mut *model {
+                            Model::Client { machine, .. } => {
+                                // Remote placement (path ②): misses
+                                // travel the wire to the page's pool
+                                // server; the completion arrives as an
+                                // FmResp.
+                                if hit {
+                                    let completed = issue_start + FM_HOST_HIT;
+                                    if is_open {
+                                        agg.total_completed += 1;
+                                    }
+                                    if in_window(completed) {
+                                        agg.hist.record(completed.saturating_sub(now));
+                                        agg.ops += 1;
+                                        agg.bytes += payload;
+                                        counters.completed += 1;
+                                    }
+                                    if !is_open {
+                                        eng.schedule(completed.max(now), ev)
+                                            .expect("completion is in the future");
+                                    }
+                                } else {
+                                    let gpage = fm_global_page(*id, access.page);
+                                    let dst = fmc.n_clients + kv_home_server(gpage, fmc.n_servers);
+                                    let nic_seen = issue_start + machine.mmio_transit();
+                                    let depart = machine.issue_with_wire(
+                                        nic_seen,
+                                        FM_REQ_BYTES,
+                                        FM_REQ_BYTES,
+                                    );
+                                    let xid = *next_xid;
+                                    *next_xid += 1;
+                                    if is_open {
+                                        agg.outstanding += 1;
+                                    }
+                                    outbox.push(NetMsg {
+                                        src: *id,
+                                        dst,
+                                        seq: *out_seq,
+                                        depart,
+                                        bytes: FM_REQ_BYTES,
+                                        kind: MsgKind::FmGet {
+                                            page: gpage,
+                                            write: access.write,
+                                            stream,
+                                            thread,
+                                            posted: now,
+                                            xid,
+                                        },
+                                    });
+                                    *out_seq += 1;
+                                    // Closed loop: the thread blocks
+                                    // until the page lands (the FmResp
+                                    // reposts this slot).
+                                }
+                                // Age-based demotion sweep; dirty
+                                // victims write back to the pool.
+                                let mut demos = std::mem::take(&mut fmc.demote_buf);
+                                demos.clear();
+                                fmc.table.demote_aged(now, &mut demos);
+                                for d in &demos {
+                                    if d.dirty {
+                                        send_fm_put(
+                                            machine, fmc, outbox, out_seq, next_xid, *id, stream,
+                                            thread, now, d.page,
+                                        );
+                                    }
+                                }
+                                fmc.demote_buf = demos;
+                            }
+                            Model::Server { fabric, .. } => {
+                                // Local placement (path ③): the whole
+                                // promotion stays on this machine —
+                                // SoC pool serves the page, then the
+                                // DMA engine pulls it into host memory
+                                // across PCIe1 twice. Under stochastic
+                                // PCIe faults every attempt rolls both
+                                // crossings (the double-exposure
+                                // mechanism), and a failure burns a
+                                // full timeout.
+                                let fms = fm_server
+                                    .as_mut()
+                                    .expect("local far memory needs the pool on this shard");
+                                let completed = if hit {
+                                    issue_start + FM_HOST_HIT
+                                } else {
+                                    fabric.apply_fault_windows(issue_start);
+                                    let gpage = fm_global_page(*id, access.page);
+                                    let res = fms.pool.reserve(issue_start, fms.svc);
+                                    let g = fms.cache.serve_get(res.finish, gpage);
+                                    let slot = g.slot_addr;
+                                    let host_addr = access.page.wrapping_mul(page_bytes);
+                                    let stochastic = fabric
+                                        .faults()
+                                        .map(|p| p.has_stochastic_faults())
+                                        .unwrap_or(false);
+                                    let fetch = |srv: &mut ServerMachine, t: Nanos| -> Nanos {
+                                        srv.intra_dma(
+                                            t,
+                                            Endpoint::Host,
+                                            Endpoint::Soc,
+                                            Endpoint::Host,
+                                            slot,
+                                            host_addr,
+                                            page_bytes,
+                                        )
+                                        .data_ready
+                                    };
+                                    let done = if stochastic {
+                                        let (timeout, retry_cnt) = retry
+                                            .expect("server retry armed with stochastic faults");
+                                        let xid = *next_xid;
+                                        *next_xid += 1;
+                                        let o = drive_attempts(
+                                            g.ready,
+                                            timeout,
+                                            retry_cnt,
+                                            |t, attempt| {
+                                                let d = fetch(&mut fabric.server, t);
+                                                let failed = fabric
+                                                    .faults()
+                                                    .map(|p| {
+                                                        p.attempt_fails(
+                                                            fault_key(&[
+                                                                *id as u64,
+                                                                stream as u64,
+                                                                thread as u64,
+                                                                xid,
+                                                                u64::from(attempt),
+                                                            ]),
+                                                            0,
+                                                            2,
+                                                        )
+                                                    })
+                                                    .unwrap_or(false);
+                                                (d, failed)
+                                            },
+                                        );
+                                        // Served anyway on exhaustion —
+                                        // the host must get its page.
+                                        fmc.path3_retries +=
+                                            u64::from(o.retries) + u64::from(o.exhausted);
+                                        counters.retransmits += u64::from(o.retries);
+                                        if o.exhausted {
+                                            counters.retry_exhausted += 1;
+                                        }
+                                        o.result
+                                    } else {
+                                        fetch(&mut fabric.server, g.ready)
+                                    };
+                                    fmc.promotes += 1;
+                                    done
+                                };
+                                // Promotion install plus the aged sweep
+                                // share one demotion pass; dirty
+                                // victims are pushed back over PCIe1
+                                // (posted writes — they occupy the DMA
+                                // engine and SoC DRAM but do not delay
+                                // this access).
+                                let mut demos = std::mem::take(&mut fmc.demote_buf);
+                                demos.clear();
+                                if !hit {
+                                    fmc.table.promote(
+                                        completed,
+                                        access.page,
+                                        access.write,
+                                        &mut demos,
+                                    );
+                                }
+                                fmc.table.demote_aged(now, &mut demos);
+                                for d in &demos {
+                                    if d.dirty {
+                                        let gp = fm_global_page(*id, d.page);
+                                        let stamp = fmc.next_stamp;
+                                        fmc.next_stamp += 1;
+                                        let leg = fabric.server.intra_dma(
+                                            completed.max(now),
+                                            Endpoint::Host,
+                                            Endpoint::Host,
+                                            Endpoint::Soc,
+                                            d.page.wrapping_mul(page_bytes),
+                                            gp.wrapping_mul(page_bytes),
+                                            page_bytes,
+                                        );
+                                        fms.cache.serve_put(leg.data_ready, gp, stamp);
+                                        fmc.put_acked += 1;
+                                    }
+                                }
+                                fmc.demote_buf = demos;
+                                if is_open {
+                                    agg.total_completed += 1;
+                                }
+                                if in_window(completed) {
+                                    agg.hist.record(completed.saturating_sub(now));
+                                    agg.ops += 1;
+                                    agg.bytes += payload;
+                                    counters.completed += 1;
+                                }
+                                if !is_open {
+                                    eng.schedule(completed.max(now), ev)
+                                        .expect("completion is in the future");
+                                }
+                            }
+                        }
                         return Step::Continue;
                     }
                     if let Some(open) = st.open.as_mut() {
@@ -785,9 +1083,7 @@ impl Shard {
                                     retry.expect("server retry armed with stochastic faults");
                                 let post_idx = th.posts;
                                 th.posts += 1;
-                                let mut t = now;
-                                let mut attempt: u32 = 0;
-                                loop {
+                                let o = drive_attempts(now, timeout, retry_cnt, |t, attempt| {
                                     fabric.apply_fault_windows(t);
                                     let c = fabric.execute(t, req);
                                     let failed = fabric
@@ -806,16 +1102,14 @@ impl Shard {
                                             )
                                         })
                                         .unwrap_or(false);
-                                    if !failed {
-                                        break Some(c);
-                                    }
-                                    if attempt >= retry_cnt {
-                                        counters.retry_exhausted += 1;
-                                        break None;
-                                    }
-                                    counters.retransmits += 1;
-                                    t += timeout;
-                                    attempt += 1;
+                                    (c, failed)
+                                });
+                                counters.retransmits += u64::from(o.retries);
+                                if o.exhausted {
+                                    counters.retry_exhausted += 1;
+                                    None
+                                } else {
+                                    Some(o.result)
                                 }
                             } else {
                                 Some(fabric.execute(now, req))
@@ -1079,42 +1373,44 @@ impl Shard {
                                             // double-exposure mechanism.
                                             let (timeout, retry_cnt) =
                                                 retry.expect("retry armed with stochastic faults");
-                                            let mut t = res.finish;
-                                            let mut attempt: u32 = 0;
-                                            loop {
-                                                let d = fetch(&mut fabric.server, t);
-                                                let failed = fabric
-                                                    .faults()
-                                                    .map(|p| {
-                                                        p.attempt_fails(
-                                                            fault_key(&[
-                                                                *id as u64,
-                                                                from as u64,
-                                                                xid,
-                                                                u64::from(attempt),
-                                                            ]),
-                                                            0,
-                                                            2,
-                                                        )
-                                                    })
-                                                    .unwrap_or(false);
-                                                if !failed {
-                                                    break d;
-                                                }
-                                                kv.path3_retries += 1;
-                                                kv.win_path3_retries += 1;
-                                                if attempt >= retry_cnt {
-                                                    // Budget exhausted:
-                                                    // serve the last leg
-                                                    // anyway (the client
-                                                    // has no KV timeout).
-                                                    counters.retry_exhausted += 1;
-                                                    break d;
-                                                }
-                                                counters.retransmits += 1;
-                                                t += timeout;
-                                                attempt += 1;
+                                            let o = drive_attempts(
+                                                res.finish,
+                                                timeout,
+                                                retry_cnt,
+                                                |t, attempt| {
+                                                    let d = fetch(&mut fabric.server, t);
+                                                    let failed = fabric
+                                                        .faults()
+                                                        .map(|p| {
+                                                            p.attempt_fails(
+                                                                fault_key(&[
+                                                                    *id as u64,
+                                                                    from as u64,
+                                                                    xid,
+                                                                    u64::from(attempt),
+                                                                ]),
+                                                                0,
+                                                                2,
+                                                            )
+                                                        })
+                                                        .unwrap_or(false);
+                                                    (d, failed)
+                                                },
+                                            );
+                                            // Every failed attempt counts
+                                            // as a path-3 retry; on budget
+                                            // exhaustion the last leg is
+                                            // served anyway (the client
+                                            // has no KV timeout).
+                                            let fails =
+                                                u64::from(o.retries) + u64::from(o.exhausted);
+                                            kv.path3_retries += fails;
+                                            kv.win_path3_retries += fails;
+                                            counters.retransmits += u64::from(o.retries);
+                                            if o.exhausted {
+                                                counters.retry_exhausted += 1;
                                             }
+                                            o.result
                                         } else {
                                             fetch(&mut fabric.server, res.finish)
                                         };
@@ -1195,6 +1491,178 @@ impl Shard {
                             },
                         });
                         *out_seq += 1;
+                    }
+                    (
+                        Model::Server { fabric, .. },
+                        MsgKind::FmGet {
+                            page,
+                            write,
+                            stream,
+                            thread,
+                            posted,
+                            xid,
+                        },
+                    ) => {
+                        // Pool side of a remote promotion: path ② ends
+                        // at the SoC, so nothing here crosses PCIe1 —
+                        // the cost is the wire, the NIC pipeline, a
+                        // doorbell-batched SoC core, and the SoC DRAM
+                        // banks moving the page.
+                        let fm = fm_server
+                            .as_mut()
+                            .expect("far-memory request at a server without a pool");
+                        fabric.apply_fault_windows(now);
+                        let win = fabric.server.wire.reserve(
+                            Dir::Fwd,
+                            now,
+                            wire_bytes(bytes),
+                            wire_frames(bytes),
+                        );
+                        let ready = win.finish.max(drained);
+                        let pu = fabric.server.reserve_pu(win.start, Endpoint::Soc);
+                        let res = fm.pool.reserve(pipeline_out(&pu).max(ready), fm.svc);
+                        let g = fm.cache.serve_get(res.finish, page);
+                        let done = fm.cache.read_page(g.ready, g.slot_addr);
+                        let resp_bytes = FM_REQ_BYTES + fm.page_bytes;
+                        let wout = fabric.server.wire.reserve(
+                            Dir::Rev,
+                            done.max(ready),
+                            wire_bytes(resp_bytes),
+                            wire_frames(resp_bytes),
+                        );
+                        outbox.push(NetMsg {
+                            src: *id,
+                            dst: from,
+                            seq: *out_seq,
+                            depart: wout.start,
+                            bytes: resp_bytes,
+                            kind: MsgKind::FmResp {
+                                kind: FmRespKind::Page { page, write },
+                                stream,
+                                thread,
+                                posted,
+                                xid,
+                            },
+                        });
+                        *out_seq += 1;
+                    }
+                    (
+                        Model::Server { fabric, .. },
+                        MsgKind::FmPut {
+                            page,
+                            stamp,
+                            stream,
+                            thread,
+                            posted,
+                            xid,
+                        },
+                    ) => {
+                        // A demoted dirty page lands in the pool's hot
+                        // cache (inclusive install; eviction write-back
+                        // to the backing region happens inside the
+                        // cache, on the same SoC DRAM banks).
+                        let fm = fm_server
+                            .as_mut()
+                            .expect("far-memory demotion at a server without a pool");
+                        fabric.apply_fault_windows(now);
+                        let win = fabric.server.wire.reserve(
+                            Dir::Fwd,
+                            now,
+                            wire_bytes(bytes),
+                            wire_frames(bytes),
+                        );
+                        let ready = win.finish.max(drained);
+                        let pu = fabric.server.reserve_pu(win.start, Endpoint::Soc);
+                        let res = fm.pool.reserve(pipeline_out(&pu).max(ready), fm.svc);
+                        let done = fm.cache.serve_put(res.finish, page, stamp);
+                        let wout = fabric.server.wire.reserve(
+                            Dir::Rev,
+                            done.max(ready),
+                            wire_bytes(FM_REQ_BYTES),
+                            wire_frames(FM_REQ_BYTES),
+                        );
+                        outbox.push(NetMsg {
+                            src: *id,
+                            dst: from,
+                            seq: *out_seq,
+                            depart: wout.start,
+                            bytes: FM_REQ_BYTES,
+                            kind: MsgKind::FmResp {
+                                kind: FmRespKind::PutAck,
+                                stream,
+                                thread,
+                                posted,
+                                xid,
+                            },
+                        });
+                        *out_seq += 1;
+                    }
+                    (
+                        Model::Client { machine, .. },
+                        MsgKind::FmResp {
+                            kind,
+                            stream,
+                            thread,
+                            posted,
+                            xid: _,
+                        },
+                    ) => {
+                        let si = stream as usize;
+                        let st = streams[si]
+                            .as_mut()
+                            .expect("far-memory response for a stream not installed here");
+                        let payload = st.payload;
+                        let is_open = st.open.is_some();
+                        let fmc = st
+                            .fm
+                            .as_mut()
+                            .expect("far-memory response without a host slice");
+                        match kind {
+                            FmRespKind::Page { page, write } => {
+                                // Promotion completes: account the
+                                // access latency from its intended
+                                // arrival, install the page, and write
+                                // back any capacity victim it evicts.
+                                let completed = machine.complete(now, bytes).max(drained);
+                                let a = &mut aggs[si];
+                                if is_open {
+                                    a.total_completed += 1;
+                                    a.outstanding -= 1;
+                                }
+                                if in_window(completed) {
+                                    a.hist.record(completed.saturating_sub(posted));
+                                    a.ops += 1;
+                                    a.bytes += payload;
+                                    counters.completed += 1;
+                                }
+                                fmc.promotes += 1;
+                                let local = fm_local_page(page);
+                                let mut demos = std::mem::take(&mut fmc.demote_buf);
+                                demos.clear();
+                                fmc.table.promote(completed, local, write, &mut demos);
+                                for d in &demos {
+                                    if d.dirty {
+                                        send_fm_put(
+                                            machine, fmc, outbox, out_seq, next_xid, *id, stream,
+                                            thread, now, d.page,
+                                        );
+                                    }
+                                }
+                                fmc.demote_buf = demos;
+                                if !is_open {
+                                    eng.schedule(completed.max(now), Ev::Post { stream, thread })
+                                        .expect("completion is in the future");
+                                }
+                            }
+                            FmRespKind::PutAck => {
+                                // Write-back acknowledged: drain the
+                                // header through the NIC, no latency
+                                // sample (demotions are background
+                                // traffic, not ops).
+                                let _ = machine.complete(now, bytes).max(drained);
+                                fmc.put_acked += 1;
+                            }
+                        }
                     }
                     (
                         Model::Client { machine, .. },
@@ -1476,4 +1944,48 @@ impl Shard {
             Step::Continue
         });
     }
+}
+
+/// Post a fire-and-forget demotion write-back onto the wire: the page
+/// payload rides an [`MsgKind::FmPut`] to its home pool server. Never
+/// counted against the stream's open-loop conservation — demotions are
+/// background traffic the access stream does not wait on.
+#[allow(clippy::too_many_arguments)]
+fn send_fm_put(
+    machine: &mut ClientMachine,
+    fmc: &mut FmHost,
+    outbox: &mut Vec<NetMsg>,
+    out_seq: &mut u64,
+    next_xid: &mut u64,
+    id: ShardId,
+    stream: u16,
+    thread: u16,
+    now: Nanos,
+    page: u64,
+) {
+    let gpage = fm_global_page(id, page);
+    let dst = fmc.n_clients + kv_home_server(gpage, fmc.n_servers);
+    let stamp = fmc.next_stamp;
+    fmc.next_stamp += 1;
+    let bytes = FM_REQ_BYTES + fmc.spec.page_bytes;
+    let nic_seen = now + machine.mmio_transit();
+    let depart = machine.issue_with_wire(nic_seen, bytes, bytes);
+    let xid = *next_xid;
+    *next_xid += 1;
+    outbox.push(NetMsg {
+        src: id,
+        dst,
+        seq: *out_seq,
+        depart,
+        bytes,
+        kind: MsgKind::FmPut {
+            page: gpage,
+            stamp,
+            stream,
+            thread,
+            posted: now,
+            xid,
+        },
+    });
+    *out_seq += 1;
 }

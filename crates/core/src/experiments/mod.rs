@@ -7,6 +7,7 @@
 
 pub mod budget;
 pub mod discussion;
+pub mod farmem;
 pub mod faults;
 pub mod fig10_doorbell;
 pub mod fig11_concurrency;

@@ -16,7 +16,7 @@ use rdma_sim::doorbell::{PostCostModel, PostMode, PosterKind};
 use rdma_sim::transport::RcParams;
 use simnet::arrivals::{user_home_addr, Admission, AdmissionQueue, ArrivalGen, OpenLoopSpec};
 use simnet::engine::{Engine, Step};
-use simnet::faults::{fault_key, FaultSpec};
+use simnet::faults::{drive_attempts, fault_key, FaultSpec};
 use simnet::metrics::{CounterId, Hop, HopBreakdown, Registry};
 use simnet::resource::MultiServer;
 use simnet::rng::SimRng;
@@ -578,16 +578,14 @@ pub fn run_scenario_detailed(
             .faults()
             .map(|p| p.has_stochastic_faults())
             .unwrap_or(false);
-        // Reliable-transport loop. Each attempt burns full fabric
-        // resources (loss is detected only after the frame crossed every
-        // hop); the requester times out `rc.timeout` later and
-        // retransmits, up to `rc.retry_cnt` retries before abandoning
-        // the operation (no completion recorded; the closed loop
-        // reposts). With no stochastic faults this collapses to the
-        // single execute of the fault-free fast path.
-        let mut t = posted;
-        let mut attempt: u32 = 0;
-        let (c, bd) = loop {
+        // Reliable-transport loop (shared engine: `drive_attempts`).
+        // Each attempt burns full fabric resources (loss is detected
+        // only after the frame crossed every hop); the requester times
+        // out `rc.timeout` later and retransmits, up to `rc.retry_cnt`
+        // retries before abandoning the operation (no completion
+        // recorded; the closed loop reposts). With no stochastic faults
+        // this collapses to the single execute of the fault-free path.
+        let outcome = drive_attempts(posted, rc.timeout, rc.retry_cnt, |t, attempt| {
             fabric.apply_fault_windows(t);
             let (c, bd) = if metrics_on {
                 let (c, bd) = fabric.execute_attributed(t, req);
@@ -599,43 +597,41 @@ pub fn run_scenario_detailed(
             } else {
                 (fabric.execute(t, req), None)
             };
-            if !stochastic {
-                break (c, bd);
-            }
-            let failed = fabric
-                .faults()
-                .map(|p| {
-                    p.attempt_fails(
-                        fault_key(&[
-                            ev.stream as u64,
-                            ev.thread as u64,
-                            post_idx,
-                            u64::from(attempt),
-                        ]),
-                        spec.path.wire_crossings(),
-                        spec.path.pcie1_crossings(),
-                    )
-                })
-                .unwrap_or(false);
-            if !failed {
-                break (Completion { posted, ..c }, bd);
-            }
-            if attempt >= rc.retry_cnt {
-                st.retry_exhausted += 1;
-                if metrics_on {
-                    registry.inc(c_exhausted);
-                }
-                eng.schedule((t + rc.timeout).max(now), ev)
-                    .expect("repost after retry exhaustion");
-                return;
-            }
-            st.retransmits += 1;
+            let failed = stochastic
+                && fabric
+                    .faults()
+                    .map(|p| {
+                        p.attempt_fails(
+                            fault_key(&[
+                                ev.stream as u64,
+                                ev.thread as u64,
+                                post_idx,
+                                u64::from(attempt),
+                            ]),
+                            spec.path.wire_crossings(),
+                            spec.path.pcie1_crossings(),
+                        )
+                    })
+                    .unwrap_or(false);
+            ((c, bd), failed)
+        });
+        st.retransmits += u64::from(outcome.retries);
+        if metrics_on {
+            registry.add(c_retrans, u64::from(outcome.retries));
+        }
+        if outcome.exhausted {
+            st.retry_exhausted += 1;
             if metrics_on {
-                registry.inc(c_retrans);
+                registry.inc(c_exhausted);
             }
-            t += rc.timeout;
-            attempt += 1;
-        };
+            eng.schedule((outcome.last_start + rc.timeout).max(now), ev)
+                .expect("repost after retry exhaustion");
+            return;
+        }
+        let (c, bd) = outcome.result;
+        // A retransmitted completion's latency is still measured from
+        // the original post instant.
+        let c = Completion { posted, ..c };
         if trace.is_enabled() {
             trace.record(
                 posted,

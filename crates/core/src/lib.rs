@@ -31,3 +31,8 @@ pub use harness::{
 };
 pub use model::{BottleneckModel, LatencyModel, PacketModel};
 pub use report::Table;
+// The shared reliable-transport retry engine (one cost model for the
+// per-crossing wire/PCIe1 fault exposure of paths ①/②/③). It lives in
+// `simnet::faults` because both this crate's harness and the cluster
+// runtime drive it; re-exported here as the study-facing name.
+pub use simnet::faults::{drive_attempts, RetryOutcome};

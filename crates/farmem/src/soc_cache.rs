@@ -1,0 +1,328 @@
+//! SoC-side serving layer: an inclusive hot-page cache in SoC DRAM.
+//!
+//! The SmartNIC SoC dedicates a slab of its 1-channel DDR4 to far
+//! memory: a small contiguous *slot* region ([`FM_CACHE_BASE`]) holds
+//! the hottest pages; the rest of the pool is a *backing* region
+//! ([`FM_BACKING_BASE`]) with hashed page placement to spread bank
+//! conflicts. Every page movement is costed through the shared
+//! [`MemSystem`] bank model, so cache-miss storms contend for the one
+//! channel exactly as the paper's §4 memory experiments predict.
+//!
+//! Coherence contract (checked by a HashMap-oracle property test): a
+//! `get` observes the stamp of the most recent `put` for that page —
+//! through the hot cache on a hit, through backing write-back +
+//! re-read on the eviction path — and never a stale or foreign stamp.
+
+use std::collections::{BTreeMap, HashMap};
+
+use memsys::{MemOp, MemSystem};
+use simnet::Nanos;
+
+use crate::{FM_BACKING_BASE, FM_CACHE_BASE};
+
+/// Span of the hashed backing region in pages (256 MB at 4 KB pages).
+const BACKING_SPAN_PAGES: u64 = 1 << 16;
+
+/// SplitMix64 finalizer: spreads page ids over the backing region so
+/// bank mapping does not correlate with access order.
+fn mix(page: u64) -> u64 {
+    let mut z = page.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Outcome of [`SocPageCache::serve_get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocGet {
+    /// When the page is resident in its cache slot (metadata resolved,
+    /// miss fill complete). The payload transfer off the slot is a
+    /// separate [`SocPageCache::read_page`]/DMA step.
+    pub ready: Nanos,
+    /// Whether the hot cache already held the page.
+    pub hit: bool,
+    /// SoC DRAM address of the page's cache slot.
+    pub slot_addr: u64,
+    /// Version stamp of the page contents (0 if never written).
+    pub stamp: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    tick: u64,
+    slot: usize,
+    stamp: u64,
+    dirty: bool,
+}
+
+/// The inclusive hot-page cache plus backing region, in SoC DRAM.
+#[derive(Debug)]
+pub struct SocPageCache {
+    mem: MemSystem,
+    cap: usize,
+    page_bytes: u64,
+    entries: HashMap<u64, Slot>,
+    lru: BTreeMap<u64, u64>,
+    free: Vec<usize>,
+    backing: HashMap<u64, u64>,
+    next_tick: u64,
+    /// `serve_get` calls.
+    pub gets: u64,
+    /// `serve_put` calls.
+    pub puts: u64,
+    /// Gets answered from the hot cache.
+    pub hits: u64,
+    /// Gets that had to fill from backing.
+    pub misses: u64,
+    /// Pages evicted from the hot cache.
+    pub evictions: u64,
+    /// Evictions that wrote a dirty page back to backing.
+    pub writebacks: u64,
+}
+
+impl SocPageCache {
+    /// An empty cache of `cap` page slots over a fresh SoC memory
+    /// system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero or `page_bytes` is zero.
+    pub fn new(cap: usize, page_bytes: u64) -> Self {
+        assert!(cap > 0, "cache needs at least one slot");
+        assert!(page_bytes > 0, "pages need at least one byte");
+        SocPageCache {
+            mem: MemSystem::soc_like(),
+            cap,
+            page_bytes,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            free: (0..cap).rev().collect(),
+            backing: HashMap::new(),
+            next_tick: 0,
+            gets: 0,
+            puts: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Whether the hot cache currently holds `page`.
+    pub fn cached(&self, page: u64) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// Pages currently in the hot cache.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the hot cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn slot_addr(&self, slot: usize) -> u64 {
+        FM_CACHE_BASE + slot as u64 * self.page_bytes
+    }
+
+    fn backing_addr(&self, page: u64) -> u64 {
+        FM_BACKING_BASE + (mix(page) % BACKING_SPAN_PAGES) * self.page_bytes
+    }
+
+    fn touch(&mut self, page: u64) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let e = self.entries.get_mut(&page).expect("touching a cached page");
+        self.lru.remove(&e.tick);
+        e.tick = tick;
+        self.lru.insert(tick, page);
+    }
+
+    /// Evict the LRU page if the cache is full, writing it back to
+    /// backing when dirty. Returns the time the slot is reusable.
+    fn make_room(&mut self, now: Nanos) -> Nanos {
+        if self.entries.len() < self.cap {
+            return now;
+        }
+        let (&tick, &victim) = self.lru.iter().next().expect("full cache has an LRU");
+        self.lru.remove(&tick);
+        let e = self.entries.remove(&victim).expect("LRU entry is cached");
+        self.free.push(e.slot);
+        self.evictions += 1;
+        if e.dirty {
+            self.writebacks += 1;
+            self.backing.insert(victim, e.stamp);
+            let addr = self.backing_addr(victim);
+            return self
+                .mem
+                .dma_access(now, addr, self.page_bytes, MemOp::Write);
+        }
+        now
+    }
+
+    fn install(&mut self, now: Nanos, page: u64, stamp: u64, dirty: bool) -> (usize, Nanos) {
+        let t = self.make_room(now);
+        let slot = self.free.pop().expect("room was just made");
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.entries.insert(
+            page,
+            Slot {
+                tick,
+                slot,
+                stamp,
+                dirty,
+            },
+        );
+        self.lru.insert(tick, page);
+        let done = self
+            .mem
+            .dma_access(t, self.slot_addr(slot), self.page_bytes, MemOp::Write);
+        (slot, done)
+    }
+
+    /// Resolve a far-memory `get` for `page`: a hit pins the slot; a
+    /// miss evicts (write-back if dirty), reads the page from backing
+    /// and fills the slot, all through the SoC DRAM bank model.
+    pub fn serve_get(&mut self, now: Nanos, page: u64) -> SocGet {
+        self.gets += 1;
+        if let Some(e) = self.entries.get(&page).copied() {
+            self.hits += 1;
+            self.touch(page);
+            return SocGet {
+                ready: now,
+                hit: true,
+                slot_addr: self.slot_addr(e.slot),
+                stamp: e.stamp,
+            };
+        }
+        self.misses += 1;
+        let stamp = self.backing.get(&page).copied().unwrap_or(0);
+        let t = self
+            .mem
+            .dma_access(now, self.backing_addr(page), self.page_bytes, MemOp::Read);
+        let (slot, ready) = self.install(t, page, stamp, false);
+        SocGet {
+            ready,
+            hit: false,
+            slot_addr: self.slot_addr(slot),
+            stamp,
+        }
+    }
+
+    /// Stream the page payload out of its cache slot (the SoC→wire or
+    /// SoC→DMA-engine read). Returns the data-ready time.
+    pub fn read_page(&mut self, now: Nanos, slot_addr: u64) -> Nanos {
+        self.mem
+            .dma_access(now, slot_addr, self.page_bytes, MemOp::Read)
+    }
+
+    /// Absorb a demoted page: install (or refresh) it in the hot cache
+    /// as dirty with version `stamp`. Returns the install-complete
+    /// time.
+    pub fn serve_put(&mut self, now: Nanos, page: u64, stamp: u64) -> Nanos {
+        self.puts += 1;
+        if let Some(e) = self.entries.get_mut(&page) {
+            e.stamp = stamp;
+            e.dirty = true;
+            let slot = e.slot;
+            self.touch(page);
+            return self
+                .mem
+                .dma_access(now, self.slot_addr(slot), self.page_bytes, MemOp::Write);
+        }
+        let (_, done) = self.install(now, page, stamp, true);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use simnet::prop::{check, Gen};
+    use simnet::{prop_assert, prop_assert_eq, Nanos};
+
+    use super::SocPageCache;
+
+    #[test]
+    fn get_hit_after_put() {
+        let mut c = SocPageCache::new(4, 4096);
+        let t = c.serve_put(Nanos::ZERO, 9, 1);
+        let g = c.serve_get(t, 9);
+        assert!(g.hit);
+        assert_eq!(g.stamp, 1);
+        assert_eq!((c.hits, c.misses), (1, 0));
+    }
+
+    #[test]
+    fn miss_fills_from_backing_and_costs_dram_time() {
+        let mut c = SocPageCache::new(4, 4096);
+        let g = c.serve_get(Nanos::ZERO, 3);
+        assert!(!g.hit);
+        assert_eq!(g.stamp, 0);
+        assert!(g.ready > Nanos::ZERO, "fill must cost bank time");
+        assert!(c.serve_get(g.ready, 3).hit, "fill is inclusive");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_stamp() {
+        let mut c = SocPageCache::new(2, 4096);
+        let mut t = c.serve_put(Nanos::ZERO, 1, 41);
+        t = c.serve_put(t, 2, 42);
+        t = c.serve_put(t, 3, 43); // evicts dirty page 1
+        assert_eq!((c.evictions, c.writebacks), (1, 1));
+        assert!(!c.cached(1));
+        let g = c.serve_get(t, 1);
+        assert!(!g.hit);
+        assert_eq!(g.stamp, 41, "write-back preserved the stamp");
+    }
+
+    /// HashMap-oracle coherence property: against a plain map of
+    /// page→stamp, every `get` must observe the latest `put` stamp
+    /// regardless of hit/miss/eviction/write-back path, and the hot
+    /// cache never exceeds its capacity. A parallel recency list
+    /// predicts hit/miss exactly, pinning the LRU policy.
+    #[test]
+    fn prop_cache_matches_hashmap_oracle() {
+        check("soc_cache_hashmap_oracle", |g: &mut Gen| {
+            let cap = g.usize(1..9);
+            let pages = g.u64(1..24);
+            let mut cache = SocPageCache::new(cap, 4096);
+            let mut oracle: HashMap<u64, u64> = HashMap::new();
+            let mut recency: Vec<u64> = Vec::new();
+            let mut now = Nanos::ZERO;
+            let mut stamp = 0u64;
+            let n = g.usize(1..200);
+            for _ in 0..n {
+                let page = g.u64(0..pages);
+                let expect_hit = recency.contains(&page);
+                if g.bool() {
+                    stamp += 1;
+                    oracle.insert(page, stamp);
+                    now = cache.serve_put(now, page, stamp);
+                } else {
+                    let got = cache.serve_get(now, page);
+                    prop_assert_eq!(got.hit, expect_hit, "LRU hit prediction");
+                    prop_assert_eq!(
+                        got.stamp,
+                        oracle.get(&page).copied().unwrap_or(0),
+                        "stale or foreign stamp observed"
+                    );
+                    prop_assert!(got.ready >= now, "time must not run backwards");
+                    now = got.ready;
+                }
+                recency.retain(|&p| p != page);
+                recency.push(page);
+                if recency.len() > cap {
+                    recency.remove(0);
+                }
+                prop_assert!(cache.len() <= cap, "cache exceeded capacity");
+                prop_assert_eq!(cache.len(), recency.len(), "cache size drifts from model");
+            }
+            Ok(())
+        });
+    }
+}

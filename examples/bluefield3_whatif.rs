@@ -2,12 +2,15 @@
 //! budgets and knees (the anomalies persist), plus the CXL suggestion —
 //! and a *measured* Gen5 what-if: the same remote sweep executed against
 //! a BF-2 server (Gen4 ×16 PCIe) and a BF-3-class server whose
-//! `PcieLinkSpec` is Gen5 ×16, written to `results/bluefield3_whatif.csv`.
+//! `PcieLinkSpec` is Gen5 ×16, written to `results/bluefield3_whatif.csv`,
+//! plus the far-memory viability frontier re-run on Gen5 servers
+//! (`results/bluefield3_whatif_farmem.csv`).
 //!
 //! Run with `cargo run --release --example bluefield3_whatif`.
 
+use offpath_smartnic::cluster::ClusterScenario;
 use offpath_smartnic::nicsim::{PathKind, Verb};
-use offpath_smartnic::study::experiments::discussion;
+use offpath_smartnic::study::experiments::{discussion, farmem};
 use offpath_smartnic::study::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
 use offpath_smartnic::study::report::Table;
 use offpath_smartnic::topology::{MachineSpec, NicDevice};
@@ -64,6 +67,42 @@ fn main() {
     let path = "results/bluefield3_whatif.csv";
     std::fs::write(path, table.to_csv()).expect("write csv");
     println!("wrote {path}");
+
+    // The far-memory frontier on Gen5: path ③ promotions cross PCIe1
+    // twice, so doubling the link moves the local placement's knee —
+    // while path ② (wire-terminated at the SoC) barely shifts.
+    let mut gen5_sc = ClusterScenario::quick();
+    gen5_sc.cluster.servers = vec![MachineSpec::srv_with_bluefield3(); 3];
+    let bf2_sc = ClusterScenario::quick();
+    let mut fm_table = Table::new(
+        "§5: far-memory frontier on Gen5 PCIe (mean access latency vs the fixed-penalty baseline; viable < 1.0)",
+        &[
+            "regime",
+            "placement",
+            "BF-2 mean [us]",
+            "BF-3 mean [us]",
+            "BF-2 vs_base",
+            "BF-3 vs_base",
+        ],
+    );
+    for case in farmem::cases() {
+        for (name, p) in farmem::placements() {
+            let bf2 = farmem::point_on(&bf2_sc, &case, case.stream_spec(p));
+            let bf3 = farmem::point_on(&gen5_sc, &case, case.stream_spec(p));
+            fm_table.push(vec![
+                case.name.to_string(),
+                name.to_string(),
+                format!("{:.2}", farmem::mean_us(&bf2)),
+                format!("{:.2}", farmem::mean_us(&bf3)),
+                format!("{:.2}", farmem::mean_us(&bf2) / farmem::baseline_us(&bf2)),
+                format!("{:.2}", farmem::mean_us(&bf3) / farmem::baseline_us(&bf3)),
+            ]);
+        }
+    }
+    println!("{}", fm_table.to_text());
+    let fm_path = "results/bluefield3_whatif_farmem.csv";
+    std::fs::write(fm_path, fm_table.to_csv()).expect("write csv");
+    println!("wrote {fm_path}");
 
     println!(
         "Takeaway: Bluefield-3 keeps the off-path architecture, so every\n\

@@ -15,5 +15,6 @@ pub use rdma_sim as rdma;
 pub use simnet;
 pub use snic_cluster as cluster;
 pub use snic_core as study;
+pub use snic_farmem as farmem;
 pub use snic_kvstore as kvstore;
 pub use topology;

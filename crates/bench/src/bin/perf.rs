@@ -3,8 +3,9 @@
 //! Runs the perf-trajectory suite (single-machine Fig-4 sweep, the
 //! cluster Fig-5 combination at 1/2/8 workers, the incast fan-in, a
 //! faulty cluster run, an open-loop arrival-driven run, the KV
-//! service under the online advisor, and the far-memory tier over the
-//! remote SoC pool), printing
+//! service under the online advisor, the far-memory tier over the
+//! remote SoC pool, and the KV service on a BF-3 rack serving from
+//! the DPA plane), printing
 //! events/sec per scenario and emitting a
 //! machine-readable `BENCH_<date>.json` snapshot in the current
 //! directory. Committed snapshots in the repo root form the trajectory
@@ -36,6 +37,7 @@ use snic_cluster::{
 use snic_core::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
 use snic_farmem::{FmPlacement, FmStreamSpec};
 use snic_kvstore::{KeyDist, Mix};
+use topology::MachineSpec;
 
 /// Default timed iterations per macro bench (override: `BENCH_SAMPLES`).
 const DEFAULT_SAMPLES: usize = 5;
@@ -162,6 +164,26 @@ fn farmem() -> u64 {
     run_cluster(&sc, &[stream]).events
 }
 
+/// The BF-3 DPA plane: the KV service on a rack whose servers carry
+/// the DPA, driven hard enough that the online advisor moves a
+/// scratch-resident index onto the NIC cores — exercising the
+/// kick/serve/spill machinery and the dpa_* conservation counters.
+fn dpa() -> u64 {
+    let mut sc = bench_cluster(2);
+    let n = sc.cluster.servers.len();
+    sc.cluster.servers = vec![MachineSpec::srv_with_bluefield3_dpa(); n];
+    let spec = KvStreamSpec::new(
+        Mix::C,
+        KeyDist::Uniform,
+        KvPlacement::Online(advisor_policy),
+    )
+    .with_keys(500)
+    .with_value_size(64);
+    let stream =
+        ClusterStream::kv_service(spec, (0..6).collect()).open_loop(OpenLoopSpec::poisson(12.0e6));
+    run_cluster(&sc, &[stream]).events
+}
+
 fn usage() -> ! {
     eprintln!(
         "perf: macro benchmarks tracking simulator events/sec\n\
@@ -215,6 +237,7 @@ fn main() {
         ("openloop", openloop),
         ("kv_cluster", kv_cluster),
         ("farmem", farmem),
+        ("dpa", dpa),
     ];
 
     let mut measurements: Vec<Measurement> = Vec::new();

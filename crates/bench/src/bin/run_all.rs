@@ -37,6 +37,7 @@ fn main() {
         ("16_openloop", e::openloop::run),
         ("17_kv_cluster", e::kv_cluster::run),
         ("18_farmem", e::farmem::run),
+        ("19_bf3_dpa", e::bf3_dpa::run),
     ];
     let jobs: Vec<Job> = match &opts.only {
         Some(prefix) => {

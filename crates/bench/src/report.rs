@@ -27,6 +27,7 @@ pub const EXPECTED_BENCHES: &[&str] = &[
     "openloop",
     "kv_cluster",
     "farmem",
+    "dpa",
 ];
 
 /// One benchmark's record in the snapshot.

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use simnet::resource::MultiServer;
 use simnet::time::Nanos;
 use snic_kvstore::{Design, HashIndex, KeyDist, Mix};
+use topology::DpaSpec;
 
 /// Re-decision observation window handed to an online policy.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +60,14 @@ pub struct KvWindowObs {
     /// Whether PCIe fault pressure is active at the decision instant
     /// (a degradation window, or stochastic PCIe TLP corruption armed).
     pub pcie_faulty: bool,
+    /// Analytic capacity of the DPA serving plane at this shard's
+    /// resident-state size (ops/s); 0.0 when the server's SmartNIC
+    /// carries no DPA plane. Spill cost is folded in when the resident
+    /// state exceeds the DPA scratch.
+    pub dpa_capacity_per_sec: f64,
+    /// Whether the shard's resident KV state (index region + value
+    /// region) fits the DPA scratch; false when there is no DPA plane.
+    pub dpa_resident_fits: bool,
     /// Placement the window ran under.
     pub current: Design,
 }
@@ -208,20 +217,45 @@ pub const KV_SOC_PROBE: Nanos = Nanos::new(60);
 /// 3. Plain overload of the scarce host cores offloads the index to
 ///    the SoC (Advice #4 polarity: its cores post behind a doorbell).
 /// 4. Otherwise the host's fat cores give the lowest latency.
+///
+/// A DPA plane (BlueField-3), when present, amends two branches:
+///
+/// * Under fault pressure with load, the DPA beats one-sided READs —
+///   its serving loop never crosses PCIe1, so PCIe corruption cannot
+///   touch it, and unlike `OneSidedRnic` it pays no probe-chain
+///   round-trip amplification. This is the advice the DPA *flips*.
+/// * Under skewless overload, the DPA only displaces the SoC when it
+///   actually out-runs it — which requires the shard's resident state
+///   to fit (or nearly fit) the tiny DPA scratch; a spilling DPA core
+///   is slower than an A72. Under skewed overload the hot-key verdict
+///   likewise survives unless the state fits scratch: a spilling DPA
+///   pays SoC-DRAM latency per op, exactly the weak-memory trap that
+///   keeps skew on the host.
 pub fn advisor_policy(obs: &KvWindowObs) -> Design {
     let loaded = obs.offered_per_sec > 0.85 * obs.host_capacity_per_sec;
     let hot = obs.top_key_share > 0.15;
     let faulty = obs.pcie_faulty || obs.path3_retries > 0;
+    let dpa = obs.dpa_capacity_per_sec > 0.0;
     if faulty {
-        if loaded {
+        if dpa && loaded {
+            Design::DpaHandler
+        } else if loaded {
             Design::OneSidedRnic
         } else {
             Design::HostRpc
         }
     } else if loaded && hot {
-        Design::HostRpc
+        if dpa && obs.dpa_resident_fits {
+            Design::DpaHandler
+        } else {
+            Design::HostRpc
+        }
     } else if loaded {
-        Design::SocIndex
+        if dpa && obs.dpa_capacity_per_sec > obs.soc_capacity_per_sec {
+            Design::DpaHandler
+        } else {
+            Design::SocIndex
+        }
     } else {
         Design::HostRpc
     }
@@ -265,6 +299,10 @@ pub(crate) struct KvServer {
     pub host_pool: MultiServer,
     /// SoC serving cores.
     pub soc_pool: MultiServer,
+    /// DPA plane of this server's SmartNIC, when it carries one. The
+    /// serving contention lives in the fabric's `ServerMachine`; this
+    /// copy feeds the advisor's capacity/fits signals.
+    pub dpa: Option<DpaSpec>,
     /// SoC DRAM bank free times (index lookups serialize per bank).
     pub bank_free: [Nanos; SOC_BANKS],
     /// Base service time per op on a host core (message handling plus
@@ -289,6 +327,8 @@ pub(crate) struct KvServer {
     pub path3_retries: u64,
     pub decisions: u64,
     pub design_changes: u64,
+    /// Gets served by the DPA plane (subset of `gets`).
+    pub dpa_gets: u64,
 }
 
 impl KvServer {
@@ -300,6 +340,7 @@ impl KvServer {
         n_servers: usize,
         host_svc: Nanos,
         soc_svc: Nanos,
+        dpa: Option<DpaSpec>,
     ) -> Self {
         let mut index = HashIndex::new(spec.index_buckets, KV_INDEX_BASE);
         let mut next_value = 0u64;
@@ -326,6 +367,7 @@ impl KvServer {
             decision_every: spec.decision_every,
             host_pool: MultiServer::new(spec.host_cores.max(1)),
             soc_pool: MultiServer::new(spec.soc_cores.max(1)),
+            dpa,
             bank_free: [Nanos::ZERO; SOC_BANKS],
             host_svc,
             soc_svc,
@@ -343,7 +385,14 @@ impl KvServer {
             path3_retries: 0,
             decisions: 0,
             design_changes: 0,
+            dpa_gets: 0,
         }
+    }
+
+    /// Resident working state a DPA handler for this shard would hold:
+    /// the index region plus the populated value region.
+    pub fn resident_bytes(&self) -> u64 {
+        self.index.region_len() + self.next_value
     }
 
     /// Records one served op into the advisor window.
@@ -379,6 +428,23 @@ impl KvServer {
         let host_op =
             self.host_svc.as_nanos() as f64 + KV_HOST_PROBE.as_nanos() as f64 * mean_probes;
         let soc_op = self.soc_svc.as_nanos() as f64 + KV_SOC_PROBE.as_nanos() as f64 * mean_probes;
+        let resident = self.resident_bytes();
+        let dpa_fits = self.dpa.map(|d| d.fits_scratch(resident)).unwrap_or(false);
+        let dpa_capacity = self
+            .dpa
+            .map(|d| {
+                // Per-op DPA service: the handle, plus — when the
+                // shard's state spills past scratch — the SoC-DRAM
+                // fetch of the bytes the op touches (probed buckets +
+                // the value).
+                let touched = (64.0 * mean_probes) as u64 + self.value_size as u64;
+                let mut op = d.handle_time;
+                if !d.fits_scratch(resident) {
+                    op += d.spill_cost(touched);
+                }
+                d.cores as f64 / op.as_nanos() as f64 * 1e9
+            })
+            .unwrap_or(0.0);
         let obs = KvWindowObs {
             window,
             ops: self.win_ops,
@@ -396,6 +462,8 @@ impl KvServer {
             soc_capacity_per_sec: self.soc_pool.units() as f64 / soc_op * 1e9,
             path3_retries: self.win_path3_retries,
             pcie_faulty,
+            dpa_capacity_per_sec: dpa_capacity,
+            dpa_resident_fits: dpa_fits,
             current: self.design,
         };
         self.win_start = now;
@@ -433,7 +501,7 @@ mod tests {
             KvPlacement::Static(Design::HostRpc),
         );
         let servers: Vec<KvServer> = (0..3)
-            .map(|me| KvServer::new(&spec, me, 3, Nanos::new(300), Nanos::new(320)))
+            .map(|me| KvServer::new(&spec, me, 3, Nanos::new(300), Nanos::new(320), None))
             .collect();
         let total: u64 = servers.iter().map(|s| s.index.len()).sum();
         assert_eq!(total, spec.n_keys);
@@ -460,6 +528,8 @@ mod tests {
             soc_capacity_per_sec: 20.0e6,
             path3_retries: 0,
             pcie_faulty: false,
+            dpa_capacity_per_sec: 0.0,
+            dpa_resident_fits: false,
             current: Design::HostRpc,
         };
         assert_eq!(advisor_policy(&base), Design::HostRpc);
@@ -496,13 +566,68 @@ mod tests {
     }
 
     #[test]
+    fn advisor_policy_dpa_amendments() {
+        let base = KvWindowObs {
+            window: Nanos::from_micros(50),
+            ops: 1000,
+            reads: 900,
+            updates: 100,
+            probe_sum: 1000,
+            top_key_share: 0.01,
+            value_size: 256,
+            offered_per_sec: 8.0e6,
+            host_capacity_per_sec: 6.0e6,
+            soc_capacity_per_sec: 20.0e6,
+            path3_retries: 0,
+            pcie_faulty: false,
+            dpa_capacity_per_sec: 12.0e6,
+            dpa_resident_fits: false,
+            current: Design::HostRpc,
+        };
+        // The DPA flip: loaded + faulty goes to the PCIe-free plane
+        // instead of amplified one-sided chains.
+        let faulty_loaded = KvWindowObs {
+            pcie_faulty: true,
+            ..base
+        };
+        assert_eq!(advisor_policy(&faulty_loaded), Design::DpaHandler);
+        // Survivals: a spilling DPA displaces neither the SoC offload
+        // (slower than the A72 pool here) nor the host under skew.
+        assert_eq!(advisor_policy(&base), Design::SocIndex);
+        let hot_loaded = KvWindowObs {
+            top_key_share: 0.4,
+            ..base
+        };
+        assert_eq!(advisor_policy(&hot_loaded), Design::HostRpc);
+        // When the state fits scratch and the plane out-runs the SoC,
+        // both overload branches flip to the DPA.
+        let small_state = KvWindowObs {
+            dpa_capacity_per_sec: 32.0e6,
+            dpa_resident_fits: true,
+            ..base
+        };
+        assert_eq!(advisor_policy(&small_state), Design::DpaHandler);
+        let small_hot = KvWindowObs {
+            top_key_share: 0.4,
+            ..small_state
+        };
+        assert_eq!(advisor_policy(&small_hot), Design::DpaHandler);
+        // Calm traffic stays on the host even with a DPA available.
+        let calm = KvWindowObs {
+            offered_per_sec: 1.0e6,
+            ..small_state
+        };
+        assert_eq!(advisor_policy(&calm), Design::HostRpc);
+    }
+
+    #[test]
     fn window_observation_resets() {
         let spec = KvStreamSpec::new(
             Mix::A,
             KeyDist::Zipf(0.99),
             KvPlacement::Online(advisor_policy),
         );
-        let mut s = KvServer::new(&spec, 0, 3, Nanos::new(300), Nanos::new(330));
+        let mut s = KvServer::new(&spec, 0, 3, Nanos::new(300), Nanos::new(330), None);
         for i in 0..100 {
             s.observe(i % 10, i % 2 == 0, 2);
         }
@@ -515,5 +640,47 @@ mod tests {
         assert_eq!(empty.ops, 0);
         assert_eq!(empty.top_key_share, 0.0);
         assert_eq!(empty.window, Nanos::from_micros(50));
+    }
+
+    #[test]
+    fn window_reports_dpa_signals() {
+        let spec = KvStreamSpec::new(
+            Mix::C,
+            KeyDist::Uniform,
+            KvPlacement::Online(advisor_policy),
+        );
+        let mut none = KvServer::new(&spec, 0, 3, Nanos::new(300), Nanos::new(330), None);
+        let obs = none.take_window(Nanos::from_micros(50), false);
+        assert_eq!(obs.dpa_capacity_per_sec, 0.0);
+        assert!(!obs.dpa_resident_fits);
+
+        let mut dpa = KvServer::new(
+            &spec,
+            0,
+            3,
+            Nanos::new(300),
+            Nanos::new(330),
+            Some(DpaSpec::bluefield3()),
+        );
+        // Default shard state (~6.7k × 256 B values + the index region)
+        // overflows the 1 MiB scratch: capacity is the spilled rate.
+        assert!(dpa.resident_bytes() > DpaSpec::bluefield3().scratch_bytes);
+        let spilled = dpa.take_window(Nanos::from_micros(100), false);
+        assert!(spilled.dpa_capacity_per_sec > 0.0);
+        assert!(!spilled.dpa_resident_fits);
+
+        // A small-state shard fits scratch and reports a higher rate.
+        let small = spec.with_keys(500).with_value_size(64);
+        let mut fits = KvServer::new(
+            &small,
+            0,
+            3,
+            Nanos::new(300),
+            Nanos::new(330),
+            Some(DpaSpec::bluefield3()),
+        );
+        let resident = fits.take_window(Nanos::from_micros(100), false);
+        assert!(resident.dpa_resident_fits);
+        assert!(resident.dpa_capacity_per_sec > spilled.dpa_capacity_per_sec);
     }
 }

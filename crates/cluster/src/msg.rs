@@ -36,6 +36,11 @@ pub enum MsgKind {
         /// retransmissions of the same operation, echoed back so the
         /// requester can match responses to its outstanding table.
         xid: u64,
+        /// `Some(resident)` routes this SEND to the responder's DPA
+        /// plane, whose handler holds `resident` bytes of working
+        /// state: no PCIe1 crossing, spill penalty past the DPA
+        /// scratch. `None` serves the verb through memory as usual.
+        dpa_resident: Option<u64>,
     },
     /// The responder's admission queue rejected an open-loop request: a
     /// header-only NACK so the requester can account the drop and

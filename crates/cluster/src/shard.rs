@@ -13,7 +13,9 @@ use std::collections::HashMap;
 use memsys::MemOp;
 use nicsim::client::{wire_bytes, wire_frames};
 use nicsim::server::pipeline_out;
-use nicsim::{ClientMachine, Endpoint, Fabric, PathKind, RequestDesc, ServerMachine, Verb};
+use nicsim::{
+    ClientMachine, DpaStats, Endpoint, Fabric, PathKind, RequestDesc, ServerMachine, Verb,
+};
 use rdma_sim::transport::{RecvQueue, SendFlags, SignalTracker};
 use simnet::arrivals::{user_home_addr, Admission, AdmissionQueue, ArrivalGen, OpenLoopSpec};
 use simnet::engine::{Engine, Step};
@@ -173,6 +175,7 @@ struct LocalStream {
     open: Option<OpenLocal>,
     kv: Option<KvClient>,
     fm: Option<FmHost>,
+    dpa: bool,
 }
 
 enum Model {
@@ -398,6 +401,7 @@ impl Shard {
             open,
             kv: None,
             fm: None,
+            dpa: stream.dpa,
         });
     }
 
@@ -488,6 +492,22 @@ impl Shard {
     /// The shard's KV serving state, if any.
     pub(crate) fn kv(&self) -> Option<&KvServer> {
         self.kv_server.as_ref()
+    }
+
+    /// Whether this (server) shard's SmartNIC carries a DPA plane.
+    pub(crate) fn has_dpa(&self) -> bool {
+        match &self.model {
+            Model::Server { fabric, .. } => fabric.server.has_dpa(),
+            Model::Client { .. } => false,
+        }
+    }
+
+    /// The DPA plane's serving counters, when the plane exists.
+    pub(crate) fn dpa_stats(&self) -> Option<DpaStats> {
+        match &self.model {
+            Model::Server { fabric, .. } => fabric.server.dpa_stats(),
+            Model::Client { .. } => None,
+        }
     }
 
     /// Installs an admission queue guarding `idx` on this (server)
@@ -964,6 +984,7 @@ impl Shard {
                                         // CO-free latency falls out.
                                         posted: now,
                                         xid,
+                                        dpa_resident: st.dpa.then_some(st.addr_range),
                                     },
                                 });
                                 *out_seq += 1;
@@ -1047,6 +1068,7 @@ impl Shard {
                                     thread,
                                     posted: now,
                                     xid,
+                                    dpa_resident: st.dpa.then_some(st.addr_range),
                                 },
                             });
                             *out_seq += 1;
@@ -1157,6 +1179,7 @@ impl Shard {
                             thread,
                             posted,
                             xid,
+                            dpa_resident,
                         },
                     ) => {
                         // Responder side of `Fabric::execute_remote`,
@@ -1202,19 +1225,32 @@ impl Shard {
                         if let Some(q) = admission[stream as usize].as_mut() {
                             q.commit(pu.start);
                         }
-                        let (op, dma_bytes) = match verb {
-                            Verb::Read => (MemOp::Read, payload),
-                            Verb::Write | Verb::Send => (MemOp::Write, payload),
-                        };
-                        let leg =
-                            server.dma(pipeline_out(&pu), endpoint, op, addr, dma_bytes, true);
-                        let mut resp_ready = leg.data_ready.max(win.finish).max(drained);
-                        if verb == Verb::Send {
-                            if !recvq.consume() {
-                                counters.rnr += 1;
+                        let resp_ready = if let Some(resident) = dpa_resident {
+                            // DPA serving arm: the NIC parser kicks a
+                            // DPA core and the request terminates on
+                            // the NIC-resident plane — no DMA leg, no
+                            // PCIe1 crossing, no host/SoC recv queue.
+                            // Past scratch, the handler pays the
+                            // SoC-DRAM spill on the payload it touches.
+                            assert_eq!(verb, Verb::Send, "DPA streams are two-sided SENDs");
+                            let serve = server.dpa_serve(pipeline_out(&pu), resident, payload);
+                            serve.done.max(win.finish).max(drained)
+                        } else {
+                            let (op, dma_bytes) = match verb {
+                                Verb::Read => (MemOp::Read, payload),
+                                Verb::Write | Verb::Send => (MemOp::Write, payload),
+                            };
+                            let leg =
+                                server.dma(pipeline_out(&pu), endpoint, op, addr, dma_bytes, true);
+                            let mut r = leg.data_ready.max(win.finish).max(drained);
+                            if verb == Verb::Send {
+                                if !recvq.consume() {
+                                    counters.rnr += 1;
+                                }
+                                r = server.handle_message(r, endpoint);
                             }
-                            resp_ready = server.handle_message(resp_ready, endpoint);
-                        }
+                            r
+                        };
                         let inbound = match verb {
                             Verb::Read => payload,
                             Verb::Write | Verb::Send => 0,
@@ -1433,6 +1469,30 @@ impl Shard {
                                         );
                                         (
                                             leg.data_ready.max(ready),
+                                            KvRespKind::Value { len },
+                                            len as u64,
+                                        )
+                                    }
+                                    Design::DpaHandler => {
+                                        // The NIC parser kicks a DPA core:
+                                        // the get terminates on the
+                                        // NIC-resident plane without
+                                        // crossing PCIe1, paying the
+                                        // SoC-DRAM spill penalty while the
+                                        // shard's state overflows scratch.
+                                        let pu =
+                                            fabric.server.reserve_pu(win.start, Endpoint::Host);
+                                        let len = l.entry.value_len;
+                                        let touched =
+                                            BUCKET_BYTES * u64::from(l.probes) + len as u64;
+                                        let serve = fabric.server.dpa_serve(
+                                            pipeline_out(&pu).max(ready),
+                                            kv.resident_bytes(),
+                                            touched,
+                                        );
+                                        kv.dpa_gets += 1;
+                                        (
+                                            serve.done.max(ready),
                                             KvRespKind::Value { len },
                                             len as u64,
                                         )
@@ -1898,6 +1958,7 @@ impl Shard {
                             thread,
                             posted: o.posted,
                             xid,
+                            dpa_resident: st.dpa.then_some(st.addr_range),
                         },
                     });
                     *out_seq += 1;

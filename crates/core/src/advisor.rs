@@ -345,6 +345,12 @@ impl OffloadAdvisor {
 ///   which has 4x the cores and doorbell-batched posting (Advice #4);
 /// * otherwise host RPC — one network trip, no SmartNIC caveats.
 ///
+/// On BlueField-3 deployments that expose a DPA plane, two branches are
+/// amended (see `snic_cluster::advisor_policy`): fault pressure under
+/// load flips to the DPA (its serving loop never crosses PCIe1), and the
+/// overload branches prefer the DPA only while the shard's resident
+/// state fits its scratch — a spilling DPA core is slower than an A72.
+///
 /// The decision function itself lives in `snic_cluster::advisor_policy` so
 /// the shard runtime can call it without a dependency cycle; this type is
 /// the user-facing wrapper that also keeps a decision log and renders
@@ -389,12 +395,16 @@ impl OnlineAdvisor {
         let d = snic_cluster::advisor_policy(obs);
         let loaded = obs.offered_per_sec > 0.85 * obs.host_capacity_per_sec;
         if obs.pcie_faulty || obs.path3_retries > 0 {
+            let how = if d == Design::DpaHandler {
+                "serve on the PCIe-free DPA plane"
+            } else {
+                "move the value path off path 3"
+            };
             return Finding {
                 advice: 3,
                 severity: Severity::Severe,
                 message: format!(
-                    "PCIe fault window ({} path-3 retries): move the value \
-                     path off path 3 -> {d:?}",
+                    "PCIe fault window ({} path-3 retries): {how} -> {d:?}",
                     obs.path3_retries
                 ),
             };
@@ -417,7 +427,7 @@ impl OnlineAdvisor {
                 severity: Severity::Degraded,
                 message: format!(
                     "offered {:.2} Mops vs host capacity {:.2} Mops: offload \
-                     the index to the SoC -> {d:?}",
+                     the index -> {d:?}",
                     obs.offered_per_sec / 1e6,
                     obs.host_capacity_per_sec / 1e6
                 ),
@@ -580,6 +590,8 @@ mod tests {
             soc_capacity_per_sec: 20.0e6,
             path3_retries: retries,
             pcie_faulty: faulty,
+            dpa_capacity_per_sec: 0.0,
+            dpa_resident_fits: false,
             current: Design::HostRpc,
         }
     }
@@ -604,5 +616,27 @@ mod tests {
         // The exposed policy is the cluster runtime's decision function.
         let p = OnlineAdvisor::policy();
         assert_eq!(p(&obs(8.0e6, 0.01, 0, false)), Design::SocIndex);
+    }
+
+    #[test]
+    fn online_advisor_dpa_flip_and_explanation() {
+        let dpa_obs = |fits: bool| KvWindowObs {
+            dpa_capacity_per_sec: 12.0e6,
+            dpa_resident_fits: fits,
+            ..obs(8.0e6, 0.01, 3, true)
+        };
+        // With a DPA plane, the fault-under-load advice flips from
+        // one-sided READs to the DPA — and the explanation says so.
+        let mut a = OnlineAdvisor::new();
+        assert_eq!(a.decide(&dpa_obs(false)), Design::DpaHandler);
+        let f = OnlineAdvisor::explain(&dpa_obs(false));
+        assert_eq!(f.advice, 3);
+        assert!(f.message.contains("DPA"), "{}", f.message);
+        // Fault-free overload with spilled state keeps the SoC advice.
+        let spilled = KvWindowObs {
+            dpa_capacity_per_sec: 12.0e6,
+            ..obs(8.0e6, 0.01, 0, false)
+        };
+        assert_eq!(snic_cluster::advisor_policy(&spilled), Design::SocIndex);
     }
 }

@@ -5,6 +5,7 @@
 //! sweep and simulated duration for tests and Criterion benches;
 //! `quick = false` runs the full paper sweep (the figure binaries).
 
+pub mod bf3_dpa;
 pub mod budget;
 pub mod discussion;
 pub mod farmem;

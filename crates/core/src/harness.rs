@@ -65,6 +65,11 @@ pub struct StreamSpec {
     /// Optional per-stream goodput cap (used by the §4 bandwidth-budget
     /// experiment to throttle path 3).
     pub rate_cap: Option<Bandwidth>,
+    /// When true, SENDs of this stream terminate at a DPA handler whose
+    /// working state is `addr_range` bytes: no PCIe1 crossing (fault
+    /// verdicts see zero crossings), spill penalty past the DPA scratch.
+    /// Requires a server with a DPA-carrying SmartNIC.
+    pub dpa: bool,
 }
 
 impl StreamSpec {
@@ -114,6 +119,7 @@ impl StreamSpec {
                 PostMode::Mmio
             },
             rate_cap: None,
+            dpa: false,
         }
     }
 
@@ -132,6 +138,15 @@ impl StreamSpec {
     /// Caps the stream's goodput (the §4 budget experiment).
     pub fn with_rate_cap(mut self, cap: Bandwidth) -> Self {
         self.rate_cap = Some(cap);
+        self
+    }
+
+    /// Routes this stream's SENDs to the server's DPA plane. The DPA
+    /// handler's working state is taken to be the stream's `addr_range`
+    /// (range sweeps then walk the scratch-hit / spill knee exactly as
+    /// Figure 7 walks the reorder-window knee).
+    pub fn with_dpa(mut self) -> Self {
+        self.dpa = true;
         self
     }
 
@@ -571,7 +586,10 @@ pub fn run_scenario_detailed(
         } else {
             0
         };
-        let req = RequestDesc::new(spec.verb, spec.path, spec.payload, addr, client);
+        let mut req = RequestDesc::new(spec.verb, spec.path, spec.payload, addr, client);
+        if spec.dpa {
+            req = req.with_dpa(spec.addr_range);
+        }
         let post_idx = th.posts;
         th.posts += 1;
         let stochastic = fabric
@@ -609,7 +627,13 @@ pub fn run_scenario_detailed(
                                 u64::from(attempt),
                             ]),
                             spec.path.wire_crossings(),
-                            spec.path.pcie1_crossings(),
+                            // DPA service terminates at the NIC-resident
+                            // cores: the attempt never crosses PCIe1.
+                            if spec.dpa {
+                                0
+                            } else {
+                                spec.path.pcie1_crossings()
+                            },
                         )
                     })
                     .unwrap_or(false);
@@ -835,6 +859,10 @@ pub struct OpenStreamSpec {
     pub post_mode: PostMode,
     /// Arrival process, user aggregation and admission bound.
     pub open: OpenLoopSpec,
+    /// When true, SENDs terminate at the server's DPA plane with
+    /// `addr_range` bytes of handler working state (see
+    /// [`StreamSpec::with_dpa`]).
+    pub dpa: bool,
 }
 
 impl OpenStreamSpec {
@@ -855,7 +883,14 @@ impl OpenStreamSpec {
                 PostMode::Mmio
             },
             open,
+            dpa: false,
         }
+    }
+
+    /// Routes this stream's SENDs to the server's DPA plane.
+    pub fn with_dpa(mut self) -> Self {
+        self.dpa = true;
+        self
     }
 
     /// Overrides the label.
@@ -1019,7 +1054,10 @@ pub fn run_open_loop(scenario: &Scenario, streams: &[OpenStreamSpec]) -> OpenLoo
         if st.queue.offer(issue.start) == Admission::Admit {
             let addr = user_home_addr(user, st.spec.addr_base, st.spec.addr_range, 64);
             fabric.apply_fault_windows(issue.start);
-            let req = RequestDesc::new(st.spec.verb, st.spec.path, st.spec.payload, addr, 0);
+            let mut req = RequestDesc::new(st.spec.verb, st.spec.path, st.spec.payload, addr, 0);
+            if st.spec.dpa {
+                req = req.with_dpa(st.spec.addr_range);
+            }
             let c = fabric.execute(issue.start, req);
             st.queue.commit(c.nic_start);
             if c.completed <= horizon {

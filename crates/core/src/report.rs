@@ -40,13 +40,23 @@ impl Table {
         self.rows.push(row);
     }
 
-    /// Renders as CSV (title as a `#` comment line).
+    /// Renders as CSV (title as a `#` comment line). Cells containing
+    /// separators, quotes or newlines are RFC-4180 quoted so table
+    /// prose (units like "1,024" or quoted advice strings) cannot
+    /// shift the column structure of the emitted file.
     pub fn to_csv(&self) -> String {
+        let join = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         let mut out = format!("# {}\n", self.title);
-        out.push_str(&self.headers.join(","));
+        out.push_str(&join(&self.headers));
         out.push('\n');
         for r in &self.rows {
-            out.push_str(&r.join(","));
+            out.push_str(&join(r));
             out.push('\n');
         }
         out
@@ -89,6 +99,42 @@ impl Table {
     }
 }
 
+/// RFC-4180 encoding of one CSV cell: quoted (with embedded quotes
+/// doubled) when the raw text would be ambiguous, verbatim otherwise.
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Parses one CSV line produced by [`Table::to_csv`] back into cells.
+/// Test/tooling helper — the inverse of the RFC-4180 quoting above.
+pub fn parse_csv_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => quoted = true,
+            ',' if !quoted => cells.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
 /// Formats a float with sensible precision for tables.
 pub fn fmt_f(v: f64) -> String {
     if v.abs() >= 100.0 {
@@ -124,6 +170,30 @@ mod tests {
         assert!(csv.starts_with("# Fig X\n"));
         assert_eq!(csv.lines().count(), 4);
         assert!(csv.contains("payload,gbps"));
+    }
+
+    #[test]
+    fn csv_quotes_separators_and_round_trips() {
+        // Regression: cells with commas/quotes used to be joined raw,
+        // silently widening the row in the emitted CSV.
+        let mut t = Table::new("Advice, quoted", &["case", "advice"]);
+        t.push(vec!["skew, hot".into(), "keep \"index\" on host".into()]);
+        t.push(vec!["plain".into(), "multi\nline".into()]);
+        let csv = t.to_csv();
+        // The comma/quote-bearing cells are quoted on the wire...
+        assert!(csv.contains("\"skew, hot\""));
+        assert!(csv.contains("\"keep \"\"index\"\" on host\""));
+        // ...and every record parses back to exactly its source cells.
+        let mut lines = csv.split('\n').skip(1); // drop the # title
+        let header = parse_csv_line(lines.next().expect("header"));
+        assert_eq!(header, t.headers);
+        let row0 = parse_csv_line(lines.next().expect("row 0"));
+        assert_eq!(row0, t.rows[0]);
+        // The embedded newline stays inside its quotes: rejoin the two
+        // physical lines it spans before parsing.
+        let rest: Vec<&str> = lines.collect();
+        let row1 = parse_csv_line(&rest[..2].join("\n"));
+        assert_eq!(row1, t.rows[1]);
     }
 
     #[test]

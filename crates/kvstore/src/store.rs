@@ -30,10 +30,16 @@ pub enum Design {
     SocIndex,
     /// Two-sided RPC handled by host CPU cores.
     HostRpc,
+    /// Gets terminated by a BlueField-3 DPA handler on the NIC itself:
+    /// no PCIe crossing, but the working state must fit the DPA's
+    /// scratch memory or every get pays the spill into SoC DRAM.
+    DpaHandler,
 }
 
 impl Design {
-    /// All designs, in comparison order.
+    /// The paper's Figure-1 designs, in comparison order.
+    /// [`Design::DpaHandler`] is a BF-3-only what-if and deliberately
+    /// not part of the Figure-1 comparison set.
     pub const ALL: [Design; 4] = [
         Design::OneSidedRnic,
         Design::OneSidedSnic,
@@ -48,6 +54,7 @@ impl Design {
             Design::OneSidedSnic => "one-sided SNIC(1)",
             Design::SocIndex => "SoC-offloaded index",
             Design::HostRpc => "two-sided host RPC",
+            Design::DpaHandler => "DPA handler",
         }
     }
 }
@@ -153,6 +160,15 @@ impl KvStore {
     pub fn new(design: Design, cfg: KvConfig) -> Self {
         let fabric = match design {
             Design::OneSidedRnic => Fabric::rnic_testbed(cfg.n_clients),
+            Design::DpaHandler => {
+                // A DPA design needs the BF-3 part that carries the plane.
+                let c = topology::ClusterSpec::paper_testbed();
+                Fabric::new(
+                    topology::MachineSpec::srv_with_bluefield3_dpa(),
+                    cfg.n_clients,
+                    c.wire,
+                )
+            }
             _ => Fabric::bluefield_testbed(cfg.n_clients),
         };
         let ctx = Context::new(fabric);
@@ -163,7 +179,7 @@ impl KvStore {
         };
         let path = match design {
             Design::OneSidedRnic => PathKind::Rnic1,
-            Design::OneSidedSnic | Design::HostRpc => PathKind::Snic1,
+            Design::OneSidedSnic | Design::HostRpc | Design::DpaHandler => PathKind::Snic1,
             Design::SocIndex => PathKind::Snic2,
         };
         let index = HashIndex::new(cfg.index_buckets, INDEX_BASE);
@@ -286,6 +302,7 @@ impl KvStore {
             Design::OneSidedRnic | Design::OneSidedSnic => self.get_one_sided(now, key),
             Design::SocIndex => self.get_soc_offload(now, key),
             Design::HostRpc => self.get_host_rpc(now, key),
+            Design::DpaHandler => self.get_dpa(now, key),
         }
     }
 
@@ -360,6 +377,30 @@ impl KvStore {
         })
     }
 
+    /// BF-3 what-if: the get terminates at a DPA handler on the NIC.
+    /// The handler's working state is the whole store (index + live
+    /// value bytes); when it no longer fits the DPA scratch, every get
+    /// pays the spill round trip into SoC DRAM.
+    fn get_dpa(&mut self, now: Nanos, key: u64) -> Result<GetResult, KvError> {
+        let lookup = self.index.lookup(key)?;
+        let resident = self.index.region_len() + self.next_value;
+        let req = nicsim::RequestDesc::new(
+            nicsim::Verb::Send,
+            PathKind::Snic1,
+            REQ_BYTES + lookup.entry.value_len as u64,
+            0,
+            0,
+        )
+        .with_dpa(resident);
+        let c = self.ctx.fabric().borrow_mut().execute(now, req);
+        Ok(GetResult {
+            completed: c.completed,
+            latency: c.latency(),
+            network_trips: 1,
+            value_len: lookup.entry.value_len,
+        })
+    }
+
     fn drain_one(&mut self) -> Nanos {
         let t = self
             .cq
@@ -420,6 +461,29 @@ mod tests {
             max_trips = max_trips.max(r.network_trips);
         }
         assert!(max_trips >= 3, "no amplified get observed: {max_trips}");
+    }
+
+    #[test]
+    fn dpa_design_serves_and_spills_past_scratch() {
+        // Small store: index (64 KiB) + values (512 KB) fit the 1 MiB
+        // DPA scratch; a store past the boundary spills on every get.
+        let mut small = KvStore::new(Design::DpaHandler, small_cfg());
+        let fit = small.get(Nanos::ZERO, 17).unwrap();
+        assert_eq!(fit.value_len, 256);
+        assert_eq!(fit.network_trips, 1);
+        let big_cfg = KvConfig {
+            n_keys: 8000,
+            index_buckets: 16 << 10,
+            ..small_cfg()
+        };
+        let mut big = KvStore::new(Design::DpaHandler, big_cfg);
+        let spill = big.get(Nanos::ZERO, 17).unwrap();
+        assert!(
+            spill.latency > fit.latency,
+            "spilled get {} !> resident get {}",
+            spill.latency,
+            fit.latency
+        );
     }
 
     #[test]

@@ -245,6 +245,9 @@ impl Fabric {
     }
 
     fn execute_remote(&mut self, posted: Nanos, req: RequestDesc) -> Completion {
+        if let Some(resident) = req.dpa_resident {
+            return self.execute_dpa(posted, req, resident);
+        }
         let ep = req.path.responder();
         let client = self
             .clients
@@ -321,6 +324,74 @@ impl Fabric {
         sp.record(Hop::Wire, wout.start, wout.finish.max(back));
         sp.record(Hop::Completion, back, completed);
 
+        Completion {
+            posted,
+            nic_start,
+            completed,
+        }
+    }
+
+    /// A SEND terminated on the DPA plane: the wire and the NIC parser
+    /// are shared with every other path, but the request then kicks a
+    /// DPA core and replies straight from the NIC — no DMA leg, no
+    /// PCIe1/switch/PCIe0 crossing, no host or SoC CPU. The only
+    /// data-plane cost beyond the wimpy core itself is the spill into
+    /// SoC DRAM when `resident` bytes exceed the DPA scratch.
+    fn execute_dpa(&mut self, posted: Nanos, req: RequestDesc, resident: u64) -> Completion {
+        assert_eq!(
+            req.verb,
+            Verb::Send,
+            "DPA handlers terminate two-sided SENDs"
+        );
+        let client = self
+            .clients
+            .get_mut(req.client)
+            .expect("client index out of range");
+        let outbound = req.payload;
+        let fetch = if req.inline_data { 0 } else { outbound };
+        let nic_seen = posted + client.mmio_transit();
+        let depart = client.issue_with_wire(nic_seen, fetch, outbound);
+        let arrive = depart + self.wire.one_way_latency;
+        let win = self.server.wire.reserve(
+            Dir::Fwd,
+            arrive,
+            wire_bytes(outbound),
+            wire_frames(outbound),
+        );
+        let sp = self.server.spans_mut();
+        sp.record(Hop::Post, posted, nic_seen);
+        sp.record(Hop::ClientNic, nic_seen, depart);
+        sp.record(Hop::Wire, depart, win.finish.max(arrive));
+
+        // The parser PU still triages the request before the kick.
+        let pu = self.server.reserve_pu(win.start, req.path.responder());
+        let nic_start = pu.start;
+        self.server
+            .spans_mut()
+            .record(Hop::NicPu, pu.start, pu.finish);
+        let served =
+            self.server
+                .dpa_serve(pipeline_out(&pu).max(win.finish), resident, req.payload);
+        self.server
+            .spans_mut()
+            .record(Hop::NicPu, served.start, served.done);
+
+        let wout = self.server.wire.reserve(
+            Dir::Rev,
+            served.done,
+            wire_bytes(ACK_BYTES),
+            wire_frames(ACK_BYTES),
+        );
+        let back = wout.start + self.wire.one_way_latency;
+        let client = self
+            .clients
+            .get_mut(req.client)
+            .expect("client index out of range");
+        let mut completed = client.complete(back, ACK_BYTES);
+        completed = completed.max(wout.finish + self.wire.one_way_latency);
+        let sp = self.server.spans_mut();
+        sp.record(Hop::Wire, wout.start, wout.finish.max(back));
+        sp.record(Hop::Completion, back, completed);
         Completion {
             posted,
             nic_start,
@@ -575,6 +646,131 @@ mod tests {
         let (_, bd) = s.execute_attributed(Nanos::ZERO, req(Verb::Read, PathKind::Snic2, 64));
         assert!(bd.get(Hop::SocAttach) > Nanos::ZERO, "{bd:?}");
         assert_eq!(bd.get(Hop::Pcie0), Nanos::ZERO, "{bd:?}");
+    }
+
+    fn dpa_testbed(n_clients: usize) -> Fabric {
+        let c = ClusterSpec::paper_testbed();
+        let mut srv = topology::MachineSpec::srv_with_bluefield3_dpa();
+        srv.host = c.servers[0].host;
+        Fabric::new(srv, n_clients, c.wire)
+    }
+
+    #[test]
+    fn dpa_send_skips_every_pcie_pipe() {
+        let mut f = dpa_testbed(1);
+        let c = f.execute(
+            Nanos::ZERO,
+            req(Verb::Send, PathKind::Snic1, 64).with_dpa(64 << 10),
+        );
+        assert!(c.posted <= c.nic_start && c.nic_start <= c.completed);
+        // No DMA leg: the PCIe counters never tick.
+        assert_eq!(f.server.counters().total_tlps(), 0);
+        let stats = f.server.dpa_stats().expect("dpa plane present");
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.scratch_hits, 1);
+        assert_eq!(stats.spills, 0);
+    }
+
+    #[test]
+    fn dpa_latency_between_resident_and_spilled() {
+        // Scratch-resident DPA SENDs undercut the SoC serving path (no
+        // switch/attach crossing, no wimpy-core poll-loop tax); spilled
+        // ones pay the SoC DRAM trip and give part of it back.
+        let mut f = dpa_testbed(1);
+        let soc = f.execute(Nanos::ZERO, req(Verb::Send, PathKind::Snic2, 64));
+        let hit = f.execute(
+            Nanos::from_micros(50),
+            req(Verb::Send, PathKind::Snic1, 64).with_dpa(64 << 10),
+        );
+        let spill = f.execute(
+            Nanos::from_micros(100),
+            req(Verb::Send, PathKind::Snic1, 64).with_dpa(64 << 20),
+        );
+        assert!(
+            hit.latency() < soc.latency(),
+            "resident DPA {} !< SoC path {}",
+            hit.latency(),
+            soc.latency()
+        );
+        assert!(
+            spill.latency() > hit.latency(),
+            "spill {} !> hit {}",
+            spill.latency(),
+            hit.latency()
+        );
+    }
+
+    #[test]
+    fn dpa_immune_to_pcie_degradation() {
+        // The architectural point: a degraded PCIe fabric slows every
+        // DMA-crossing path but leaves the DPA-terminated path
+        // byte-identical (it never touches a PCIe pipe).
+        let run = |degrade: bool| {
+            let mut f = dpa_testbed(1);
+            if degrade {
+                f.server.set_pcie_degradation(4.0, Nanos::new(400));
+            }
+            let host = f.execute(Nanos::ZERO, req(Verb::Read, PathKind::Snic1, 4096));
+            let dpa = f.execute(
+                Nanos::from_micros(50),
+                req(Verb::Send, PathKind::Snic1, 4096).with_dpa(64 << 10),
+            );
+            (host.latency(), dpa.latency())
+        };
+        let (host_ok, dpa_ok) = run(false);
+        let (host_bad, dpa_bad) = run(true);
+        assert!(host_bad > host_ok, "degradation must hurt the host READ");
+        assert_eq!(dpa_ok, dpa_bad, "DPA path must not see PCIe faults");
+    }
+
+    #[test]
+    fn dpa_scratch_spill_conservation_property() {
+        // Property: for any mix of resident sizes, every served request
+        // is exactly one of {scratch hit, spill}, split at the scratch
+        // boundary of the live spec.
+        let mut f = dpa_testbed(2);
+        let scratch = f.server.dpa_spec().expect("dpa").scratch_bytes;
+        let mut expect_spills = 0u64;
+        let mut at = Nanos::ZERO;
+        // Deterministic pseudo-random walk over resident sizes spanning
+        // the scratch boundary.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..200u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let resident = x % (4 * scratch);
+            if resident > scratch {
+                expect_spills += 1;
+            }
+            let r = req(Verb::Send, PathKind::Snic1, 64 + (i % 7) * 64).with_dpa(resident);
+            f.execute(
+                at,
+                RequestDesc {
+                    client: (i % 2) as usize,
+                    ..r
+                },
+            );
+            at += Nanos::from_micros(2);
+        }
+        let s = f.server.dpa_stats().expect("dpa plane present");
+        assert_eq!(s.served, 200);
+        assert_eq!(
+            s.served,
+            s.scratch_hits + s.spills,
+            "conservation: served == hits + spills"
+        );
+        assert_eq!(s.spills, expect_spills, "spill verdicts split at scratch");
+    }
+
+    #[test]
+    #[should_panic(expected = "without a DPA plane")]
+    fn dpa_request_on_plain_bluefield_panics() {
+        let mut f = Fabric::bluefield_testbed(1);
+        f.execute(
+            Nanos::ZERO,
+            req(Verb::Send, PathKind::Snic1, 64).with_dpa(1024),
+        );
     }
 
     #[test]

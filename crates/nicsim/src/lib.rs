@@ -30,4 +30,4 @@ pub use client::ClientMachine;
 pub use fabric::{Fabric, RpcOp};
 pub use onpath::{OnPathNic, OnPathSpec};
 pub use request::{Completion, Endpoint, PathKind, RequestDesc, Verb};
-pub use server::{DmaLeg, ServerMachine};
+pub use server::{DmaLeg, DpaServe, DpaStats, ServerMachine};

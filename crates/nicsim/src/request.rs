@@ -136,6 +136,12 @@ pub struct RequestDesc {
     /// NIC skips the payload DMA fetch (Kalia et al., paper ref 14;
     /// applied by the paper's framework §2.4).
     pub inline_data: bool,
+    /// When `Some(resident)`, this SEND terminates at a DPA handler
+    /// whose working state is `resident` bytes: the request never
+    /// crosses PCIe1 (no DMA legs) but pays the spill penalty when
+    /// `resident` exceeds the DPA's scratch memory. Requires a server
+    /// whose SmartNIC carries a DPA plane.
+    pub dpa_resident: Option<u64>,
 }
 
 impl RequestDesc {
@@ -148,12 +154,20 @@ impl RequestDesc {
             addr,
             client,
             inline_data: false,
+            dpa_resident: None,
         }
     }
 
     /// Marks the payload as inlined.
     pub fn with_inline(mut self) -> Self {
         self.inline_data = true;
+        self
+    }
+
+    /// Routes this SEND to a DPA handler holding `resident` bytes of
+    /// working state (see [`RequestDesc::dpa_resident`]).
+    pub fn with_dpa(mut self, resident: u64) -> Self {
+        self.dpa_resident = Some(resident);
         self
     }
 }

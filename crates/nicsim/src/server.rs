@@ -21,7 +21,7 @@ use pcie_model::tlp;
 use simnet::metrics::{Hop, SpanSet};
 use simnet::resource::{Dir, DuplexPipe, MultiServer, Reservation};
 use simnet::time::{Bandwidth, Nanos};
-use topology::{MachineSpec, NicDevice, NicSpec, SmartNicSpec};
+use topology::{DpaSpec, MachineSpec, NicDevice, NicSpec, SmartNicSpec};
 
 use crate::request::Endpoint;
 
@@ -65,6 +65,42 @@ pub struct DmaLeg {
     pub data_ready: Nanos,
 }
 
+/// Result of one request served on the DPA plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpaServe {
+    /// When a DPA core picked the request up (post-kick).
+    pub start: Nanos,
+    /// When the handler finished and the reply WQE was handed back to
+    /// the NIC egress.
+    pub done: Nanos,
+    /// Whether the handler's working state exceeded local scratch and
+    /// the request paid the spill round trip into SoC DRAM.
+    pub spilled: bool,
+}
+
+/// Aggregate counters of the DPA plane. Conservation invariant:
+/// `served == scratch_hits + spills` — every served request either fit
+/// scratch or spilled, never both, never neither.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpaStats {
+    /// Requests terminated on DPA cores.
+    pub served: u64,
+    /// Requests whose working state fit local scratch.
+    pub scratch_hits: u64,
+    /// Requests that paid the spill-to-SoC-DRAM penalty.
+    pub spills: u64,
+}
+
+/// The datapath-accelerator serving plane: a pool of wimpy cores kicked
+/// directly by the NIC parser. Requests served here never touch PCIe1,
+/// the switch, or PCIe0 — which is exactly why PCIe degradation windows
+/// leave the plane untouched (see `set_pcie_degradation`).
+struct DpaPlane {
+    spec: DpaSpec,
+    pool: MultiServer,
+    stats: DpaStats,
+}
+
 /// The responder machine runtime.
 pub struct ServerMachine {
     spec: MachineSpec,
@@ -99,6 +135,7 @@ pub struct ServerMachine {
     soc_mem: Option<MemSystem>,
     host_cpu: MultiServer,
     soc_cpu: Option<MultiServer>,
+    dpa: Option<DpaPlane>,
 
     counters: PcieCounters,
     /// Residency spans of the request currently in flight (disabled by
@@ -146,6 +183,11 @@ impl ServerMachine {
             soc_mem: smart.map(|_| MemSystem::soc_like()),
             host_cpu: MultiServer::new(spec.host.cpu.cores as usize),
             soc_cpu: smart.map(|s| MultiServer::new(s.soc.cores as usize)),
+            dpa: smart.and_then(|s| s.dpa).map(|d| DpaPlane {
+                spec: d,
+                pool: MultiServer::new(d.cores as usize),
+                stats: DpaStats::default(),
+            }),
             counters: PcieCounters::new(),
             spans: SpanSet::disabled(),
             pcie_extra_latency: Nanos::ZERO,
@@ -254,6 +296,66 @@ impl ServerMachine {
     /// Panics on a plain RNIC machine.
     pub fn soc_cpu(&mut self) -> &mut MultiServer {
         self.soc_cpu.as_mut().expect("machine has no SoC")
+    }
+
+    /// Whether this machine's SmartNIC exposes a DPA plane.
+    pub fn has_dpa(&self) -> bool {
+        self.dpa.is_some()
+    }
+
+    /// The DPA plane spec, if present.
+    pub fn dpa_spec(&self) -> Option<&DpaSpec> {
+        self.dpa.as_ref().map(|d| &d.spec)
+    }
+
+    /// The DPA plane's serving counters, if present.
+    pub fn dpa_stats(&self) -> Option<DpaStats> {
+        self.dpa.as_ref().map(|d| d.stats)
+    }
+
+    /// Terminates one request on the DPA plane: the NIC parser kicks a
+    /// DPA thread (`kick_latency`, no doorbell, no PCIe), a core from
+    /// the pool runs the handler, and — when `resident_bytes` of
+    /// handler state exceed local scratch — the request additionally
+    /// pays the spill round trip into SoC DRAM plus serialization of
+    /// the `touched_bytes` it actually moves.
+    ///
+    /// Deliberately touches no PCIe pipe and ignores
+    /// `pcie_extra_latency`: requests that terminate here are immune to
+    /// PCIe degradation windows, which is the architectural point of
+    /// the plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no DPA plane (`has_dpa` is false).
+    pub fn dpa_serve(
+        &mut self,
+        arrival: Nanos,
+        resident_bytes: u64,
+        touched_bytes: u64,
+    ) -> DpaServe {
+        let d = self
+            .dpa
+            .as_mut()
+            .expect("dpa_serve on a machine without a DPA plane");
+        let spilled = !d.spec.fits_scratch(resident_bytes);
+        let service = if spilled {
+            d.spec.handle_time + d.spec.spill_cost(touched_bytes)
+        } else {
+            d.spec.handle_time
+        };
+        let res = d.pool.reserve(arrival + d.spec.kick_latency, service);
+        d.stats.served += 1;
+        if spilled {
+            d.stats.spills += 1;
+        } else {
+            d.stats.scratch_hits += 1;
+        }
+        DpaServe {
+            start: res.start,
+            done: res.finish,
+            spilled,
+        }
     }
 
     /// Claims a NIC processing unit for a request targeting `ep`.

@@ -24,4 +24,4 @@ pub mod nic;
 
 pub use cluster::{ClusterSpec, WireSpec};
 pub use machine::{CpuSpec, HostSpec, MachineSpec, NicDevice};
-pub use nic::{NicSpec, SmartNicSpec, SocSpec};
+pub use nic::{DpaSpec, NicSpec, SmartNicSpec, SocSpec};

@@ -101,6 +101,11 @@ impl HostSpec {
 }
 
 /// Which NIC a machine carries.
+// The SmartNIC variant dwarfs the RNIC one (the optional DPA plane
+// adds ~100 B of calibration), but specs are plumbed by value a few
+// times per scenario build and staying `Copy` keeps every call site
+// simple — boxing would cost the `Copy` impl for nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum NicDevice {
     /// A plain RDMA NIC (no SoC).
@@ -158,6 +163,15 @@ impl MachineSpec {
         MachineSpec {
             host: HostSpec::srv(),
             nic: NicDevice::SmartNic(SmartNicSpec::bluefield3()),
+        }
+    }
+
+    /// An SRV machine carrying a Bluefield-3 with the DPA plane enabled
+    /// (Chen et al.'s datapath-accelerator configuration).
+    pub fn srv_with_bluefield3_dpa() -> Self {
+        MachineSpec {
+            host: HostSpec::srv(),
+            nic: NicDevice::SmartNic(SmartNicSpec::bluefield3_dpa()),
         }
     }
 

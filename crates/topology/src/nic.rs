@@ -98,6 +98,11 @@ impl NicSpec {
     }
 
     /// NVIDIA ConnectX-7: the 400 Gbps NIC cores of Bluefield-3 (§5).
+    ///
+    /// Calibration note: the completion-tag pool scales with the reorder
+    /// window — CX-7 doubles CX-6's 72Ki TLP slots, and Chen et al.'s
+    /// BF-3 characterization shows large tag-limited READs *above* BF-2,
+    /// not below. A value under CX-6's 90 would silently invert that.
     pub fn connectx7() -> Self {
         NicSpec {
             name: "ConnectX-7",
@@ -110,7 +115,7 @@ impl NicSpec {
             dma_read_fixed: Nanos::new(1100),
             dma_write_fixed: Nanos::new(800),
             reorder_tlp_slots: 144 << 10,
-            completion_tags: 72,
+            completion_tags: 180,
             doorbell_time: Nanos::new(70),
             wqe_fetch_unit: Nanos::new(15),
         }
@@ -186,6 +191,68 @@ impl SocSpec {
     }
 }
 
+/// The BlueField-3 datapath accelerator (DPA): a plane of wimpy RISC-V
+/// cores *inside* the NIC complex, kicked directly by arriving packets
+/// with no PCIe crossing (Chen et al., "Demystifying Datapath
+/// Accelerator Enhanced Off-path SmartNIC"). A DPA handler terminates a
+/// request entirely on the NIC — neither PCIe1 nor the switch is
+/// touched — but its working state must fit the tiny local scratch
+/// memory; anything larger spills to SoC DRAM over the internal fabric
+/// and pays `spill_latency` plus serialization at `spill_bw`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpaSpec {
+    /// Number of DPA execution cores available to one handler group.
+    pub cores: u32,
+    /// Per-request core occupancy of a simple handler (parse + hash
+    /// probe + reply build). Wimpy single-issue cores: several times a
+    /// server-class host core's per-message time.
+    pub handle_time: Nanos,
+    /// Hardware kick latency from the NIC parser to a DPA thread
+    /// activation (no doorbell, no PCIe).
+    pub kick_latency: Nanos,
+    /// Usable local scratch memory (aggregate handler heap). Working
+    /// state beyond this spills to SoC DRAM on every request.
+    pub scratch_bytes: u64,
+    /// Round-trip latency of one spill access into SoC DRAM.
+    pub spill_latency: Nanos,
+    /// Serialization bandwidth of the spill channel into SoC DRAM.
+    pub spill_bw: Bandwidth,
+}
+
+impl DpaSpec {
+    /// The Bluefield-3 DPA, calibrated to Chen et al.: 16 RV cores
+    /// behind a ~190 ns hardware kick, per-request handling roughly
+    /// twice a Xeon core's, ~1 MiB of usable handler heap, and a
+    /// ~750 ns spill round trip into SoC DRAM (the DPA reaches SoC
+    /// memory through a narrow window, not a cache hierarchy).
+    pub fn bluefield3() -> Self {
+        DpaSpec {
+            cores: 16,
+            handle_time: Nanos::new(500),
+            kick_latency: Nanos::new(190),
+            scratch_bytes: 1 << 20,
+            spill_latency: Nanos::new(750),
+            spill_bw: Bandwidth::gbps(160.0),
+        }
+    }
+
+    /// Peak request rate of the DPA plane when state fits scratch.
+    pub fn peak_request_rate_mops(&self) -> f64 {
+        self.cores as f64 / self.handle_time.as_nanos() as f64 * 1e3
+    }
+
+    /// True when `resident_bytes` of handler state fits local scratch.
+    pub fn fits_scratch(&self, resident_bytes: u64) -> bool {
+        resident_bytes <= self.scratch_bytes
+    }
+
+    /// Extra per-request service time when the handler spills: the SoC
+    /// DRAM round trip plus serialization of the touched bytes.
+    pub fn spill_cost(&self, touched_bytes: u64) -> Nanos {
+        self.spill_latency + self.spill_bw.transfer_time(touched_bytes)
+    }
+}
+
 /// A complete off-path SmartNIC: NIC cores + PCIe switch + SoC, plus the
 /// two internal channels PCIe1 (NIC <-> switch) and PCIe0 (switch <->
 /// host), following Figure 2(c).
@@ -205,6 +272,10 @@ pub struct SmartNicSpec {
     /// the Bluefield package, so this hop is short; the PCIe0 hop to the
     /// host uses the host's own `pcie_latency`.
     pub pcie1_hop_latency: Nanos,
+    /// The datapath-accelerator plane, when the product exposes one
+    /// (Bluefield-3 with DPA firmware; `None` on BF-2 and on BF-3 used
+    /// as a plain off-path part).
+    pub dpa: Option<DpaSpec>,
 }
 
 impl SmartNicSpec {
@@ -220,6 +291,17 @@ impl SmartNicSpec {
             pcie1: PcieLinkSpec::new(PcieGen::Gen5, 16, 512, 512),
             pcie0: PcieLinkSpec::new(PcieGen::Gen5, 16, 512, 512),
             pcie1_hop_latency: Nanos::new(35),
+            dpa: None,
+        }
+    }
+
+    /// Bluefield-3 with the DPA plane enabled: identical off-path
+    /// topology, plus [`DpaSpec::bluefield3`] handler cores that
+    /// terminate requests on the NIC without any PCIe crossing.
+    pub fn bluefield3_dpa() -> Self {
+        SmartNicSpec {
+            dpa: Some(DpaSpec::bluefield3()),
+            ..Self::bluefield3()
         }
     }
 
@@ -234,6 +316,7 @@ impl SmartNicSpec {
             pcie1: PcieLinkSpec::new(PcieGen::Gen4, 16, 512, 512),
             pcie0: PcieLinkSpec::new(PcieGen::Gen4, 16, 512, 512),
             pcie1_hop_latency: Nanos::new(40),
+            dpa: None,
         }
     }
 
@@ -279,6 +362,54 @@ mod tests {
         let s = SmartNicSpec::bluefield2();
         let threshold = s.nic.reorder_tlp_slots * s.soc.pcie_mtu;
         assert_eq!(threshold, 9 << 20);
+    }
+
+    #[test]
+    fn bf3_reorder_threshold_is_18mb() {
+        // §5 / Chen et al.: CX-7 doubles the reorder window, so the
+        // Figure-8 collapse knee moves to 144Ki slots x 128 B = 18 MB.
+        let s = SmartNicSpec::bluefield3();
+        let threshold = s.nic.reorder_tlp_slots * s.soc.pcie_mtu;
+        assert_eq!(threshold, 18 << 20);
+    }
+
+    #[test]
+    fn bf3_tag_pool_not_below_bf2() {
+        // Regression: 72 tags would make BF-3's tag-limited large READs
+        // *worse* than BF-2's (90 tags), inverting the generational
+        // story. The pool scales with the doubled reorder window.
+        let cx6 = NicSpec::connectx6();
+        let cx7 = NicSpec::connectx7();
+        assert!(
+            cx7.completion_tags >= cx6.completion_tags,
+            "CX-7 tags {} below CX-6's {}",
+            cx7.completion_tags,
+            cx6.completion_tags
+        );
+        assert_eq!(
+            cx7.completion_tags * cx6.reorder_tlp_slots,
+            cx6.completion_tags * cx7.reorder_tlp_slots,
+            "tag pool should scale with the reorder window"
+        );
+    }
+
+    #[test]
+    fn dpa_terminates_without_pcie_and_spills_past_scratch() {
+        let d = DpaSpec::bluefield3();
+        // Wimpy plane: far above one host core, far below the ASIC.
+        assert!(d.peak_request_rate_mops() > 10.0);
+        assert!(d.peak_request_rate_mops() < NicSpec::connectx7().peak_request_rate_mops());
+        assert!(d.fits_scratch(512 << 10));
+        assert!(!d.fits_scratch(2 << 20));
+        // Spill cost grows with the touched bytes.
+        assert!(d.spill_cost(4096) > d.spill_cost(64));
+        assert!(d.spill_cost(64) >= d.spill_latency);
+        // Only the _dpa variant carries the plane; topology otherwise
+        // identical to plain BF-3.
+        assert!(SmartNicSpec::bluefield3().dpa.is_none());
+        let with = SmartNicSpec::bluefield3_dpa();
+        assert_eq!(with.dpa, Some(DpaSpec::bluefield3()));
+        assert_eq!(with.nic, SmartNicSpec::bluefield3().nic);
     }
 
     #[test]

@@ -12,8 +12,9 @@ use offpath_smartnic::cluster::ClusterScenario;
 use offpath_smartnic::nicsim::{PathKind, Verb};
 use offpath_smartnic::study::experiments::{discussion, farmem};
 use offpath_smartnic::study::harness::{run_scenario, Scenario, ServerKind, StreamSpec};
-use offpath_smartnic::study::report::Table;
-use offpath_smartnic::topology::{MachineSpec, NicDevice};
+use offpath_smartnic::study::report::{fmt_bytes, Table};
+use offpath_smartnic::study::BottleneckModel;
+use offpath_smartnic::topology::{MachineSpec, NicDevice, SmartNicSpec};
 
 fn main() {
     for t in discussion::run(true) {
@@ -24,10 +25,12 @@ fn main() {
     let NicDevice::SmartNic(snic) = &bf3.nic else {
         unreachable!("srv_with_bluefield3 embeds a SmartNIC");
     };
+    let bf2_spec = SmartNicSpec::bluefield2();
     let mut table = Table::new(
         format!(
-            "§5: Gen5 PCIe what-if, measured (PCIe1 raw {:.0} Gbps vs BF-2's 252)",
-            snic.pcie1.raw_bandwidth().as_gbps()
+            "§5: Gen5 PCIe what-if, measured (PCIe1 raw {:.0} Gbps vs BF-2's {:.0})",
+            snic.pcie1.raw_bandwidth().as_gbps(),
+            bf2_spec.pcie1.raw_bandwidth().as_gbps()
         ),
         &[
             "path",
@@ -104,10 +107,16 @@ fn main() {
     std::fs::write(fm_path, fm_table.to_csv()).expect("write csv");
     println!("wrote {fm_path}");
 
+    // The takeaway's constants are *derived from the live spec*, so a
+    // recalibration of the BF-3 topology can never desync the prose.
+    let path3_budget = BottleneckModel::from_spec(snic).path3_budget().as_gbps();
+    let read_knee = snic.nic.reorder_tlp_slots * snic.soc.pcie_mtu;
     println!(
         "Takeaway: Bluefield-3 keeps the off-path architecture, so every\n\
-         guideline survives with new constants — budget path 3 to ~104\n\
-         Gbps, segment READs at 18 MB — and CXL would remove the path-3\n\
-         packet tax entirely."
+         guideline survives with new constants — budget path 3 to ~{:.0}\n\
+         Gbps, segment READs at {} — and CXL would remove the path-3\n\
+         packet tax entirely.",
+        path3_budget,
+        fmt_bytes(read_knee)
     );
 }

@@ -17,9 +17,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # The parallel cluster runtime must actually prove worker-count
 # invariance — fault-free, with the fault plane active, under open-loop
 # arrival chains, with the KV service's online advisor re-placing the
-# index, AND with the far-memory tier promoting/demoting pages: run the
-# five dedicated tests by name and refuse a run where the filter
-# silently matched anything else (a rename would otherwise turn the
+# index, with the far-memory tier promoting/demoting pages, AND with
+# the BF-3 DPA plane serving gets: run the six dedicated tests by
+# name and refuse a run where the filter silently matched anything else (a rename would otherwise turn the
 # gate into a no-op).
 det_out=$(cargo test --release --offline -p offpath-smartnic --test determinism \
     cluster_worker_count_invariance 2>&1) || {
@@ -27,24 +27,26 @@ det_out=$(cargo test --release --offline -p offpath-smartnic --test determinism 
     echo "ci.sh: cluster determinism tests FAILED" >&2
     exit 1
 }
-if ! grep -q "5 passed" <<<"$det_out"; then
+if ! grep -q "6 passed" <<<"$det_out"; then
     echo "$det_out"
     echo "ci.sh: expected exactly cluster_worker_count_invariance +" \
         "cluster_worker_count_invariance_with_faults +" \
         "cluster_worker_count_invariance_openloop +" \
         "cluster_worker_count_invariance_kv +" \
-        "cluster_worker_count_invariance_farmem (filtered out or renamed?)" >&2
+        "cluster_worker_count_invariance_farmem +" \
+        "cluster_worker_count_invariance_dpa (filtered out or renamed?)" >&2
     exit 1
 fi
 
 # Smoke the cluster runtime end to end through its example, and the
-# fault-injection, open-loop, KV-service and far-memory sweeps through
-# the figure runner.
+# fault-injection, open-loop, KV-service, far-memory and BF-3 DPA
+# sweeps through the figure runner.
 cargo run --release --offline -p offpath-smartnic --example incast -- --quick
 cargo run --release --offline -p snic-bench --bin run_all -- --only 15 --quick
 cargo run --release --offline -p snic-bench --bin run_all -- --only 16 --quick
 cargo run --release --offline -p snic-bench --bin run_all -- --only 17 --quick
 cargo run --release --offline -p snic-bench --bin run_all -- --only 18 --quick
+cargo run --release --offline -p snic-bench --bin run_all -- --only 19 --quick
 
 # Perf-trajectory smoke: run the macro-bench suite at minimum sample
 # count, then re-parse the emitted snapshot and require every expected
